@@ -1,0 +1,97 @@
+// §10 extension study — conditional and probabilistic measures.
+//
+// The paper's future-work section proposes (a) range constraints on numeric
+// columns ("price is positive, discount lies in [0,1]") added to numerator
+// and denominator of the measure, and (b) per-column probability
+// distributions replacing the uniform-direction semantics. This bench
+// evaluates the campaign example's constraint under progressively more
+// informative priors and reports how the confidence moves, plus timings.
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/measure/conditional.h"
+#include "src/measure/probabilistic.h"
+#include "src/util/timer.h"
+
+int main() {
+  using namespace mudb;  // NOLINT: bench brevity
+  using constraints::CmpOp;
+  using constraints::RealFormula;
+  using measure::Distribution;
+  using measure::VarRange;
+  using poly::Polynomial;
+
+  // Constraint (1): (α' >= 0) && (α >= 8) && (0.7·α' >= α); z0 = α is the
+  // competitor's price, z1 = α' the product's recommended retail price.
+  Polynomial alpha = Polynomial::Variable(0);
+  Polynomial alpha_prime = Polynomial::Variable(1);
+  RealFormula f = RealFormula::And([&] {
+    std::vector<RealFormula> v;
+    v.push_back(RealFormula::Cmp(-alpha_prime, CmpOp::kLe));
+    v.push_back(RealFormula::Cmp(Polynomial::Constant(8) - alpha, CmpOp::kLe));
+    v.push_back(RealFormula::Cmp(alpha - alpha_prime.Scale(0.7), CmpOp::kLe));
+    return v;
+  }());
+
+  measure::AfprasOptions opts;
+  opts.num_samples = 2000000;
+
+  struct Scenario {
+    const char* name;
+    measure::VarRanges ranges;
+  };
+  const Scenario scenarios[] = {
+      {"agnostic (paper default)", {}},
+      {"prices nonnegative", {VarRange::AtLeast(0), VarRange::AtLeast(0)}},
+      {"alpha' rrp in [5, 500]",
+       {VarRange::AtLeast(0), VarRange::Between(5, 500)}},
+      {"both bounded: alpha in [0,100], rrp in [5,500]",
+       {VarRange::Between(0, 100), VarRange::Between(5, 500)}},
+  };
+
+  std::printf("# Conditional measures of the campaign constraint (1)\n");
+  std::printf("# %-46s %10s %10s\n", "prior", "mu_C", "time_ms");
+  for (const Scenario& s : scenarios) {
+    util::Rng rng(99);
+    util::WallTimer timer;
+    auto r = measure::ConditionalAfpras(f, s.ranges, opts, rng);
+    MUDB_CHECK(r.ok());
+    std::printf("  %-46s %10.4f %10.1f\n", s.name, r->estimate,
+                timer.ElapsedMillis());
+  }
+  std::printf(
+      "# agnostic ~0.0972 (paper's 0.097); nonneg prior ~0.3888 (paper's\n"
+      "# 0.388 'of the positive quadrant'); bounded priors give honest\n"
+      "# finite-volume probabilities.\n#\n");
+
+  // Probabilistic semantics: distributions matching the §9 generator.
+  std::printf("# Probabilistic measures (per-column distributions)\n");
+  std::printf("# %-46s %10s %10s\n", "distributions", "P(phi)", "time_ms");
+  struct PScenario {
+    const char* name;
+    std::vector<Distribution> dists;
+  };
+  const PScenario pscenarios[] = {
+      {"alpha~U[0,100], rrp~U[5,500]",
+       {Distribution::Uniform(0, 100), Distribution::Uniform(5, 500)}},
+      {"alpha~Exp(0.02), rrp~U[5,500]",
+       {Distribution::Exponential(0.02), Distribution::Uniform(5, 500)}},
+      {"alpha~N(50,20), rrp~N(100,50)",
+       {Distribution::Gaussian(50, 20), Distribution::Gaussian(100, 50)}},
+      {"imputation: alpha=50, rrp=100",
+       {Distribution::Point(50), Distribution::Point(100)}},
+  };
+  for (const PScenario& s : pscenarios) {
+    util::Rng rng(99);
+    util::WallTimer timer;
+    auto r = measure::ProbabilisticMeasure(f, s.dists, opts, rng);
+    MUDB_CHECK(r.ok());
+    std::printf("  %-46s %10.4f %10.1f\n", s.name, r->estimate,
+                timer.ElapsedMillis());
+  }
+  std::printf(
+      "# note how point-mass imputation collapses the confidence to 0/1 —\n"
+      "# the information the paper's framework is designed to preserve.\n");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 1(a): "Competitive Advantage" — time vs ε (see fig1_common.h).
+
+#include "bench/fig1_common.h"
+
+int main(int argc, char** argv) {
+  return mudb::bench::RunFig1(
+      "Competitive Advantage",
+      "SELECT P.seg FROM Products P, Market M "
+      "WHERE P.seg = M.seg AND P.rrp * P.dis <= M.rrp * M.dis LIMIT 25",
+      argc, argv);
+}

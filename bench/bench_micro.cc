@@ -1,0 +1,99 @@
+// Micro-benchmarks of the library's hot kernels (google-benchmark):
+// direction sampling, asymptotic atom evaluation, polynomial restriction,
+// grounding, and the order-exact enumeration.
+
+#include <benchmark/benchmark.h>
+
+#include "src/constraints/real_formula.h"
+#include "src/geom/geometry.h"
+#include "src/measure/afpras.h"
+#include "src/measure/nu_exact.h"
+#include "src/poly/polynomial.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using mudb::constraints::CmpOp;
+using mudb::constraints::RealFormula;
+using mudb::poly::Polynomial;
+
+RealFormula MakeConeFormula(int n, int atoms) {
+  mudb::util::Rng rng(n * 97 + atoms);
+  std::vector<RealFormula> parts;
+  for (int i = 0; i < atoms; ++i) {
+    Polynomial p;
+    for (int v = 0; v < n; ++v) {
+      p = p + Polynomial::Constant(rng.Uniform(-1, 1)) *
+                  Polynomial::Variable(v);
+    }
+    parts.push_back(RealFormula::Cmp(p, CmpOp::kLe));
+  }
+  return RealFormula::And(std::move(parts));
+}
+
+void BM_SampleUnitSphere(benchmark::State& state) {
+  mudb::util::Rng rng(1);
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mudb::geom::SampleUnitSphere(n, rng));
+  }
+}
+BENCHMARK(BM_SampleUnitSphere)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_AsymptoticTruth(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  RealFormula f = MakeConeFormula(n, 2 * n);
+  mudb::util::Rng rng(2);
+  mudb::geom::Vec dir = mudb::geom::SampleUnitSphere(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.AsymptoticTruth(dir));
+  }
+}
+BENCHMARK(BM_AsymptoticTruth)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_RestrictToDirection(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  mudb::util::Rng rng(3);
+  Polynomial p;
+  for (int v = 0; v < n; ++v) {
+    p = p + Polynomial::Constant(rng.Uniform(-1, 1)) *
+                Polynomial::Variable(v) * Polynomial::Variable((v + 1) % n);
+  }
+  mudb::geom::Vec dir = mudb::geom::SampleUnitSphere(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.RestrictToDirection(dir));
+  }
+}
+BENCHMARK(BM_RestrictToDirection)->Arg(4)->Arg(16);
+
+void BM_AfprasFullRun(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  RealFormula f = MakeConeFormula(n, n);
+  mudb::measure::AfprasOptions opts;
+  opts.epsilon = 0.05;
+  for (auto _ : state) {
+    mudb::util::Rng rng(4);
+    auto r = mudb::measure::Afpras(f, opts, rng);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_AfprasFullRun)->Arg(2)->Arg(6)->Arg(12);
+
+void BM_NuExactOrder(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  std::vector<RealFormula> parts;
+  for (int i = 0; i + 1 < k; ++i) {
+    parts.push_back(RealFormula::Cmp(
+        Polynomial::Variable(i) - Polynomial::Variable(i + 1), CmpOp::kLt));
+  }
+  RealFormula f = RealFormula::And(std::move(parts));
+  for (auto _ : state) {
+    auto r = mudb::measure::NuExactOrder(f);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_NuExactOrder)->Arg(3)->Arg(5)->Arg(7);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// A full-FO audit query (negation + universal quantification): outside the
+// conjunctive fragment, so the CQ pipeline and the FPRAS do not apply — this
+// is exactly the case Thm. 8.1's AFPRAS exists for.
+//
+// Scenario: an auditor keeps a ledger of transactions Ledger(acct, amount)
+// and per-account limits Limits(acct, cap), with missing numbers in both.
+// The audit passes for an account iff every one of its ledger entries is
+// within the cap:
+//
+//   q(a) = ∀x ( Ledger(a, x) → ∃c ( Limits(a, c) ∧ x ≤ c ) )
+//
+// With unknown amounts/caps this is not a yes/no question; we compute the
+// measure of certainty per account.
+
+#include <cstdio>
+
+#include "src/logic/formula.h"
+#include "src/measure/measure.h"
+#include "src/model/database.h"
+
+int main() {
+  using namespace mudb;  // NOLINT: example brevity
+  using logic::AtomArg;
+  using logic::CmpOp;
+  using logic::Formula;
+  using logic::Term;
+  using logic::TypedVar;
+  using model::Sort;
+  using model::Value;
+
+  model::Database db;
+  MUDB_CHECK(db.CreateRelation(model::RelationSchema(
+                   "Ledger", {{"acct", Sort::kBase}, {"amount", Sort::kNum}}))
+                 .ok());
+  MUDB_CHECK(db.CreateRelation(model::RelationSchema(
+                   "Limits", {{"acct", Sort::kBase}, {"cap", Sort::kNum}}))
+                 .ok());
+
+  // acct_a: two known entries under a known cap — certainly compliant.
+  MUDB_CHECK(db.Insert("Ledger", {Value::BaseConst("acct_a"),
+                                  Value::NumConst(120)})
+                 .ok());
+  MUDB_CHECK(db.Insert("Ledger", {Value::BaseConst("acct_a"),
+                                  Value::NumConst(80)})
+                 .ok());
+  MUDB_CHECK(db.Insert("Limits", {Value::BaseConst("acct_a"),
+                                  Value::NumConst(500)})
+                 .ok());
+  // acct_b: one unknown entry against a known cap — compliant "half the
+  // time" in the agnostic semantics.
+  MUDB_CHECK(db.Insert("Ledger", {Value::BaseConst("acct_b"),
+                                  db.MakeNumNull()})
+                 .ok());
+  MUDB_CHECK(db.Insert("Limits", {Value::BaseConst("acct_b"),
+                                  Value::NumConst(300)})
+                 .ok());
+  // acct_c: unknown entry against an unknown cap.
+  MUDB_CHECK(db.Insert("Ledger", {Value::BaseConst("acct_c"),
+                                  db.MakeNumNull()})
+                 .ok());
+  MUDB_CHECK(db.Insert("Limits", {Value::BaseConst("acct_c"),
+                                  db.MakeNumNull()})
+                 .ok());
+  // acct_d: a known entry exceeding its known cap — certainly in breach.
+  MUDB_CHECK(db.Insert("Ledger", {Value::BaseConst("acct_d"),
+                                  Value::NumConst(900)})
+                 .ok());
+  MUDB_CHECK(db.Insert("Limits", {Value::BaseConst("acct_d"),
+                                  Value::NumConst(100)})
+                 .ok());
+
+  Formula body = Formula::Forall(
+      TypedVar{"x", Sort::kNum},
+      Formula::Implies(
+          Formula::Rel("Ledger",
+                       {AtomArg::BaseVar("a"), AtomArg::NumVar("x")}),
+          Formula::Exists(
+              TypedVar{"c", Sort::kNum},
+              Formula::And([] {
+                std::vector<Formula> v;
+                v.push_back(Formula::Rel("Limits", {AtomArg::BaseVar("a"),
+                                                    AtomArg::NumVar("c")}));
+                v.push_back(Formula::Cmp(Term::Var("x"), CmpOp::kLe,
+                                         Term::Var("c")));
+                return v;
+              }()))));
+  auto q = logic::Query::MakeWithOutput(body, {TypedVar{"a", Sort::kBase}},
+                                        db);
+  MUDB_CHECK(q.ok());
+  std::printf("audit query (%s): %s\n\n",
+              q->formula.FragmentName().c_str(), q->ToString().c_str());
+
+  for (const char* acct : {"acct_a", "acct_b", "acct_c", "acct_d"}) {
+    measure::MeasureOptions opts;
+    opts.epsilon = 0.01;
+    auto mu = measure::ComputeMeasure(*q, db, {Value::BaseConst(acct)}, opts);
+    MUDB_CHECK(mu.ok());
+    std::printf("%s: mu = %.4f  [%s%s]\n", acct, mu->value,
+                measure::MethodToString(mu->method_used),
+                mu->is_exact ? ", exact" : "");
+  }
+  std::printf(
+      "\nInterpretation: acct_a is certainly compliant, acct_d certainly in\n"
+      "breach; acct_b/acct_c quantify how much of the agnostic valuation\n"
+      "space keeps the account within its limit.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: the smallest end-to-end use of mudb.
+//
+// Builds a one-relation database with a numeric null, runs a query with an
+// arithmetic comparison, and prints the measure of certainty μ of the
+// σ_{A>B}(R) example from the paper's introduction: a tuple (⊤1, ⊤2) of two
+// unknown numbers satisfies A > B "with probability 1/2".
+
+#include <cstdio>
+
+#include "src/logic/formula.h"
+#include "src/measure/measure.h"
+#include "src/model/database.h"
+
+int main() {
+  using namespace mudb;  // NOLINT: example brevity
+
+  // Schema: R(A:num, B:num). One tuple (⊤0, ⊤1) — two unknown numbers.
+  model::Database db;
+  MUDB_CHECK(db.CreateRelation(model::RelationSchema(
+                   "R", {{"A", model::Sort::kNum}, {"B", model::Sort::kNum}}))
+                 .ok());
+  MUDB_CHECK(db.Insert("R", {db.MakeNumNull(), db.MakeNumNull()}).ok());
+
+  // Boolean query: ∃a,b R(a,b) && a > b   — the σ_{A>B} selection.
+  logic::Formula f = logic::Formula::ExistsMany(
+      {logic::TypedVar{"a", model::Sort::kNum},
+       logic::TypedVar{"b", model::Sort::kNum}},
+      logic::Formula::And([] {
+        std::vector<logic::Formula> v;
+        v.push_back(logic::Formula::Rel("R", {logic::AtomArg::NumVar("a"),
+                                              logic::AtomArg::NumVar("b")}));
+        v.push_back(logic::Formula::Cmp(logic::Term::Var("a"),
+                                        logic::CmpOp::kGt,
+                                        logic::Term::Var("b")));
+        return v;
+      }()));
+  auto query = logic::Query::Make(std::move(f), db);
+  MUDB_CHECK(query.ok());
+
+  measure::MeasureOptions options;  // auto: exact engines when applicable
+  auto result = measure::ComputeMeasure(*query, db, /*candidate=*/{}, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "measure failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("query: %s\n", query->ToString().c_str());
+  std::printf("mu = %.6f  (engine: %s, exact: %s)\n", result->value,
+              measure::MethodToString(result->method_used),
+              result->is_exact ? "yes" : "no");
+  if (result->exact_rational) {
+    std::printf("as a rational: %s\n",
+                result->exact_rational->ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+#include "src/convex/body.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/lp/simplex.h"
+
+namespace mudb::convex {
+
+void ConvexBody::AddHalfspace(geom::Vec a, double b) {
+  MUDB_CHECK(static_cast<int>(a.size()) == dim_);
+  halfspaces_.emplace_back(std::move(a), b);
+}
+
+void ConvexBody::AddBall(geom::Vec center, double radius) {
+  MUDB_CHECK(static_cast<int>(center.size()) == dim_);
+  MUDB_CHECK(radius > 0);
+  balls_.push_back(BallConstraint{std::move(center), radius});
+}
+
+bool ConvexBody::Contains(const geom::Vec& x) const {
+  for (const auto& [a, b] : halfspaces_) {
+    if (geom::Dot(a, x) > b + 1e-12) return false;
+  }
+  for (const BallConstraint& ball : balls_) {
+    double d2 = 0.0;
+    for (int i = 0; i < dim_; ++i) {
+      double diff = x[i] - ball.center[i];
+      d2 += diff * diff;
+    }
+    if (d2 > ball.radius * ball.radius + 1e-12) return false;
+  }
+  return true;
+}
+
+std::optional<std::pair<double, double>> ConvexBody::Chord(
+    const geom::Vec& x, const geom::Vec& d) const {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  for (const auto& [a, b] : halfspaces_) {
+    double ad = geom::Dot(a, d);
+    double ax = geom::Dot(a, x);
+    if (std::fabs(ad) < 1e-14) {
+      if (ax > b + 1e-9) return std::nullopt;  // x outside; no chord
+      continue;
+    }
+    double t = (b - ax) / ad;
+    if (ad > 0) {
+      hi = std::min(hi, t);
+    } else {
+      lo = std::max(lo, t);
+    }
+  }
+  for (const BallConstraint& ball : balls_) {
+    // ||x + t d - c||^2 <= r^2, with ||d|| = 1:
+    // t^2 + 2 t (x-c)·d + ||x-c||^2 - r^2 <= 0.
+    geom::Vec xc(dim_);
+    for (int i = 0; i < dim_; ++i) xc[i] = x[i] - ball.center[i];
+    double bq = geom::Dot(xc, d);
+    double cq = geom::Dot(xc, xc) - ball.radius * ball.radius;
+    double disc = bq * bq - cq;
+    if (disc <= 0) return std::nullopt;  // line misses or grazes the ball
+    double sq = std::sqrt(disc);
+    lo = std::max(lo, -bq - sq);
+    hi = std::min(hi, -bq + sq);
+  }
+  if (!(lo < hi)) return std::nullopt;
+  if (!std::isfinite(lo) || !std::isfinite(hi)) return std::nullopt;
+  return std::make_pair(lo, hi);
+}
+
+std::optional<InnerBall> FindInnerBall(
+    const std::vector<std::pair<geom::Vec, double>>& halfspaces, int dim,
+    double outer_radius) {
+  MUDB_CHECK(dim >= 1);
+  // Variables: z_0..z_{n-1}, t. Maximize t subject to
+  //   â_i · z + t <= b̂_i   (normalized halfspaces)
+  //   |z_j| <= outer_radius / (2 sqrt(n))   (keeps ||z|| <= outer_radius/2)
+  //   t <= outer_radius.
+  const int n = dim;
+  std::vector<std::vector<double>> a;
+  std::vector<double> b;
+  for (const auto& [normal, offset] : halfspaces) {
+    double norm = geom::Norm(normal);
+    if (norm < 1e-14) {
+      if (offset < 0) return std::nullopt;  // 0 <= b violated: empty body
+      continue;                             // trivial constraint
+    }
+    std::vector<double> row(n + 1, 0.0);
+    for (int j = 0; j < n; ++j) row[j] = normal[j] / norm;
+    row[n] = 1.0;
+    a.push_back(std::move(row));
+    b.push_back(offset / norm);
+  }
+  double box = outer_radius / (2.0 * std::sqrt(static_cast<double>(n)));
+  for (int j = 0; j < n; ++j) {
+    std::vector<double> up(n + 1, 0.0), down(n + 1, 0.0);
+    up[j] = 1.0;
+    down[j] = -1.0;
+    a.push_back(up);
+    b.push_back(box);
+    a.push_back(down);
+    b.push_back(box);
+  }
+  {
+    std::vector<double> row(n + 1, 0.0);
+    row[n] = 1.0;
+    a.push_back(row);
+    b.push_back(outer_radius);
+  }
+  std::vector<double> c(n + 1, 0.0);
+  c[n] = 1.0;
+
+  lp::LpResult res = lp::SolveLp(a, b, c);
+  if (res.status != lp::LpStatus::kOptimal) return std::nullopt;
+  double t = res.x[n];
+  if (t < 1e-9) return std::nullopt;  // empty interior (volume 0)
+  geom::Vec center(res.x.begin(), res.x.begin() + n);
+  double radius = std::min(t, outer_radius - geom::Norm(center));
+  if (radius < 1e-9) return std::nullopt;
+  return InnerBall{std::move(center), radius};
+}
+
+}  // namespace mudb::convex

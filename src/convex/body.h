@@ -1,0 +1,77 @@
+// Convex bodies given by halfspaces and ball constraints, with the membership
+// and chord oracles needed by hit-and-run sampling.
+//
+// The FPRAS of Thm. 7.1 works on bodies of the form
+//     X = {z : C z <= 0} ∩ B(0, 1)
+// (a homogeneous cone from one DNF disjunct of the linear constraint formula,
+// intersected with the unit ball). The annealing volume estimator additionally
+// intersects with shrinking balls around an inner point, so the body type
+// supports any number of ball constraints.
+
+#ifndef MUDB_SRC_CONVEX_BODY_H_
+#define MUDB_SRC_CONVEX_BODY_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/geom/geometry.h"
+#include "src/util/status.h"
+
+namespace mudb::convex {
+
+/// A ball constraint ||x - center|| <= radius.
+struct BallConstraint {
+  geom::Vec center;
+  double radius;
+};
+
+/// An intersection of halfspaces {x : a·x <= b} and balls. Dimension is fixed
+/// at construction.
+class ConvexBody {
+ public:
+  explicit ConvexBody(int dim) : dim_(dim) {}
+
+  int dim() const { return dim_; }
+
+  /// Adds {x : a·x <= b}; a must have size dim().
+  void AddHalfspace(geom::Vec a, double b);
+  /// Adds ||x - center|| <= radius.
+  void AddBall(geom::Vec center, double radius);
+
+  const std::vector<std::pair<geom::Vec, double>>& halfspaces() const {
+    return halfspaces_;
+  }
+  const std::vector<BallConstraint>& balls() const { return balls_; }
+
+  bool Contains(const geom::Vec& x) const;
+
+  /// The parameter interval [lo, hi] of {t : x + t·d ∈ body} for a point x
+  /// inside the body and a unit direction d, or nullopt if the chord is
+  /// empty/degenerate. (Hit-and-run requires x ∈ body.)
+  std::optional<std::pair<double, double>> Chord(const geom::Vec& x,
+                                                 const geom::Vec& d) const;
+
+ private:
+  int dim_;
+  std::vector<std::pair<geom::Vec, double>> halfspaces_;
+  std::vector<BallConstraint> balls_;
+};
+
+/// An inscribed ball of a body, used to seed the annealing schedule.
+struct InnerBall {
+  geom::Vec center;
+  double radius;
+};
+
+/// Finds an inner ball of {z : C z <= 0} ∩ B(0, outer_radius) via LP
+/// (maximize the margin against the normalized halfspaces over a centered
+/// box). Returns nullopt when the cone has (numerically) empty interior, in
+/// which case its volume is 0.
+std::optional<InnerBall> FindInnerBall(
+    const std::vector<std::pair<geom::Vec, double>>& halfspaces, int dim,
+    double outer_radius);
+
+}  // namespace mudb::convex
+
+#endif  // MUDB_SRC_CONVEX_BODY_H_

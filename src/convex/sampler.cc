@@ -1,0 +1,31 @@
+#include "src/convex/sampler.h"
+
+namespace mudb::convex {
+
+HitAndRunSampler::HitAndRunSampler(const ConvexBody* body, geom::Vec start)
+    : body_(body), x_(std::move(start)) {
+  MUDB_CHECK(body_ != nullptr);
+  MUDB_CHECK(static_cast<int>(x_.size()) == body_->dim());
+  MUDB_CHECK(body_->Contains(x_));
+}
+
+void HitAndRunSampler::Step(util::Rng& rng) {
+  geom::Vec d = geom::SampleUnitSphere(body_->dim(), rng);
+  auto chord = body_->Chord(x_, d);
+  if (!chord) return;  // degenerate chord; stay in place
+  double t = rng.Uniform(chord->first, chord->second);
+  x_ = geom::AddScaled(x_, t, d);
+  // Guard against rounding pushing the point marginally outside; if so, pull
+  // back to the chord midpoint, which is interior.
+  if (!body_->Contains(x_)) {
+    geom::Vec mid = geom::AddScaled(
+        x_, 0.5 * (chord->first + chord->second) - t, d);
+    x_ = std::move(mid);
+  }
+}
+
+void HitAndRunSampler::Walk(int n, util::Rng& rng) {
+  for (int i = 0; i < n; ++i) Step(rng);
+}
+
+}  // namespace mudb::convex

@@ -1,0 +1,37 @@
+// Hit-and-run: a Markov chain whose stationary distribution is uniform over a
+// convex body. Used as the sampling oracle of the volume estimators.
+
+#ifndef MUDB_SRC_CONVEX_SAMPLER_H_
+#define MUDB_SRC_CONVEX_SAMPLER_H_
+
+#include "src/convex/body.h"
+#include "src/geom/geometry.h"
+#include "src/util/rng.h"
+
+namespace mudb::convex {
+
+/// Hit-and-run sampler over a ConvexBody. The chain must start at an interior
+/// point (e.g. the center of an inner ball).
+class HitAndRunSampler {
+ public:
+  /// `body` must outlive the sampler; `start` must lie inside the body.
+  HitAndRunSampler(const ConvexBody* body, geom::Vec start);
+
+  /// One hit-and-run step: picks a uniform direction, intersects the chord,
+  /// moves to a uniform point on it.
+  void Step(util::Rng& rng);
+
+  /// Runs `n` steps.
+  void Walk(int n, util::Rng& rng);
+
+  const geom::Vec& current() const { return x_; }
+  void set_current(geom::Vec x) { x_ = std::move(x); }
+
+ private:
+  const ConvexBody* body_;
+  geom::Vec x_;
+};
+
+}  // namespace mudb::convex
+
+#endif  // MUDB_SRC_CONVEX_SAMPLER_H_

@@ -1,0 +1,73 @@
+#include "src/convex/volume.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mudb::convex {
+
+VolumeEstimate EstimateVolume(const ConvexBody& body, const InnerBall& inner,
+                              double outer_radius_bound,
+                              const VolumeOptions& options, util::Rng& rng) {
+  const int n = body.dim();
+  MUDB_CHECK(n >= 1);
+  MUDB_CHECK(inner.radius > 0);
+  MUDB_CHECK(outer_radius_bound > inner.radius);
+
+  // Annealing radii r_i = r0 · 2^{i/n} until the ball covers the body.
+  std::vector<double> radii{inner.radius};
+  double growth = std::pow(2.0, 1.0 / n);
+  while (radii.back() < outer_radius_bound) {
+    radii.push_back(radii.back() * growth);
+  }
+  const int phases = static_cast<int>(radii.size()) - 1;
+
+  VolumeEstimate est;
+  est.phases = phases;
+  est.volume = geom::BallVolume(n, inner.radius);
+  if (phases == 0) return est;
+
+  int walk = options.walk_steps > 0 ? options.walk_steps : 4 * n;
+  int per_phase = options.samples_per_phase;
+  if (per_phase <= 0) {
+    // Relative variance of the product of `phases` ratio estimates, each a
+    // Bernoulli mean >= 1/2 from m samples, is about phases/m; pick
+    // m ≈ 8·phases/ε² and clamp to sane bounds.
+    double m = 8.0 * phases / (options.epsilon * options.epsilon);
+    per_phase = static_cast<int>(std::clamp(m, 200.0, 200000.0));
+  }
+
+  // Sample from the largest body first is not required; we go small→large so
+  // each phase can warm-start from the previous chain state.
+  geom::Vec point = inner.center;
+  for (int i = 1; i <= phases; ++i) {
+    ConvexBody phase_body = body;
+    phase_body.AddBall(inner.center, radii[i]);
+    HitAndRunSampler sampler(&phase_body, point);
+    // Burn-in.
+    sampler.Walk(10 * walk, rng);
+    est.steps += 10 * walk;
+    int inside = 0;
+    double prev_r2 = radii[i - 1] * radii[i - 1];
+    for (int s = 0; s < per_phase; ++s) {
+      sampler.Walk(walk, rng);
+      est.steps += walk;
+      const geom::Vec& x = sampler.current();
+      double d2 = 0.0;
+      for (int j = 0; j < n; ++j) {
+        double diff = x[j] - inner.center[j];
+        d2 += diff * diff;
+      }
+      if (d2 <= prev_r2) ++inside;
+    }
+    double ratio = static_cast<double>(inside) / per_phase;
+    // The true ratio is >= 2^{-1} by construction; guard the estimate away
+    // from 0 so a pathological chain cannot blow up the product.
+    ratio = std::max(ratio, 1e-3);
+    est.volume /= ratio;
+    point = sampler.current();
+  }
+  return est;
+}
+
+}  // namespace mudb::convex

@@ -1,0 +1,152 @@
+#include "src/datagen/datagen.h"
+
+#include <cmath>
+
+namespace mudb::datagen {
+
+namespace {
+
+using model::ColumnDef;
+using model::Database;
+using model::RelationSchema;
+using model::Sort;
+using model::Tuple;
+using model::Value;
+
+double RoundTo(double v, int decimals) {
+  double scale = std::pow(10.0, decimals);
+  return std::round(v * scale) / scale;
+}
+
+}  // namespace
+
+util::Status GenerateRelation(Database* db, const std::string& name,
+                              const std::vector<ColumnSpec>& columns,
+                              int64_t rows, util::Rng& rng) {
+  std::vector<ColumnDef> defs;
+  defs.reserve(columns.size());
+  for (const ColumnSpec& c : columns) {
+    defs.push_back(ColumnDef{c.name, c.sort});
+  }
+  MUDB_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(name, defs)));
+  model::Relation* rel = db->GetMutableRelation(name).value();
+  for (int64_t r = 0; r < rows; ++r) {
+    Tuple t;
+    t.reserve(columns.size());
+    for (const ColumnSpec& c : columns) {
+      bool make_null = c.null_rate > 0 && rng.Bernoulli(c.null_rate);
+      if (c.sort == Sort::kNum) {
+        if (make_null) {
+          t.push_back(db->MakeNumNull());
+        } else {
+          t.push_back(Value::NumConst(
+              RoundTo(rng.Uniform(c.lo, c.hi), c.decimals)));
+        }
+      } else {
+        if (make_null) {
+          t.push_back(db->MakeBaseNull());
+        } else {
+          t.push_back(Value::BaseConst(
+              c.prefix + std::to_string(rng.UniformInt(0, c.cardinality - 1))));
+        }
+      }
+    }
+    MUDB_RETURN_IF_ERROR(rel->Insert(std::move(t)));
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<Database> MakeSalesDatabase(const SalesConfig& config) {
+  Database db;
+  util::Rng rng(config.seed);
+
+  MUDB_RETURN_IF_ERROR(db.CreateRelation(RelationSchema(
+      "Products", {{"id", Sort::kBase},
+                   {"seg", Sort::kBase},
+                   {"rrp", Sort::kNum},
+                   {"dis", Sort::kNum}})));
+  MUDB_RETURN_IF_ERROR(db.CreateRelation(RelationSchema(
+      "Orders", {{"id", Sort::kBase},
+                 {"pr", Sort::kBase},
+                 {"q", Sort::kNum},
+                 {"dis", Sort::kNum}})));
+  MUDB_RETURN_IF_ERROR(db.CreateRelation(RelationSchema(
+      "Market", {{"seg", Sort::kBase},
+                 {"rrp", Sort::kNum},
+                 {"dis", Sort::kNum}})));
+
+  auto num_or_null = [&](double lo, double hi, int decimals) -> Value {
+    if (rng.Bernoulli(config.null_rate)) return db.MakeNumNull();
+    double scale = std::pow(10.0, decimals);
+    return Value::NumConst(std::round(rng.Uniform(lo, hi) * scale) / scale);
+  };
+
+  model::Relation* products = db.GetMutableRelation("Products").value();
+  for (int64_t i = 0; i < config.num_products; ++i) {
+    Tuple t;
+    t.push_back(Value::BaseConst("p" + std::to_string(i)));
+    t.push_back(Value::BaseConst(
+        "seg" + std::to_string(rng.UniformInt(0, config.num_segments - 1))));
+    t.push_back(num_or_null(5.0, 500.0, 2));    // recommended retail price
+    t.push_back(num_or_null(0.5, 1.0, 2));      // campaign discount multiplier
+    MUDB_RETURN_IF_ERROR(products->Insert(std::move(t)));
+  }
+
+  model::Relation* orders = db.GetMutableRelation("Orders").value();
+  for (int64_t i = 0; i < config.num_orders; ++i) {
+    Tuple t;
+    t.push_back(Value::BaseConst("o" + std::to_string(i)));
+    t.push_back(Value::BaseConst(
+        "p" + std::to_string(rng.UniformInt(0, config.num_products - 1))));
+    t.push_back(num_or_null(1.0, 20.0, 0));     // quantity
+    t.push_back(num_or_null(0.5, 1.5, 2));      // per-order extra discount
+    MUDB_RETURN_IF_ERROR(orders->Insert(std::move(t)));
+  }
+
+  model::Relation* market = db.GetMutableRelation("Market").value();
+  for (int64_t s = 0; s < config.num_segments; ++s) {
+    Tuple t;
+    t.push_back(Value::BaseConst("seg" + std::to_string(s)));
+    t.push_back(num_or_null(5.0, 500.0, 2));    // best competing price
+    t.push_back(num_or_null(0.5, 1.0, 2));      // forecast competitor discount
+    MUDB_RETURN_IF_ERROR(market->Insert(std::move(t)));
+  }
+  return db;
+}
+
+util::StatusOr<CampaignDatabase> MakeCampaignDatabase() {
+  CampaignDatabase out;
+  Database& db = out.db;
+  MUDB_RETURN_IF_ERROR(db.CreateRelation(RelationSchema(
+      "Products", {{"id", Sort::kBase},
+                   {"seg", Sort::kBase},
+                   {"rrp", Sort::kNum},
+                   {"dis", Sort::kNum}})));
+  MUDB_RETURN_IF_ERROR(db.CreateRelation(RelationSchema(
+      "Competition", {{"id", Sort::kBase},
+                      {"seg", Sort::kBase},
+                      {"p", Sort::kNum}})));
+  MUDB_RETURN_IF_ERROR(db.CreateRelation(RelationSchema(
+      "Excluded", {{"id", Sort::kBase}, {"seg", Sort::kBase}})));
+
+  Value alpha = db.MakeNumNull();        // ⊤: the competitor's price
+  Value alpha_prime = db.MakeNumNull();  // ⊤': the rrp of product id2
+  Value bottom = db.MakeBaseNull();      // ⊥'': the unknown excluded product
+  out.alpha = alpha.null_id();
+  out.alpha_prime = alpha_prime.null_id();
+
+  MUDB_RETURN_IF_ERROR(db.Insert(
+      "Products", {Value::BaseConst("id1"), Value::BaseConst("s"),
+                   Value::NumConst(10.0), Value::NumConst(0.8)}));
+  MUDB_RETURN_IF_ERROR(db.Insert(
+      "Products", {Value::BaseConst("id2"), Value::BaseConst("s"),
+                   alpha_prime, Value::NumConst(0.7)}));
+  MUDB_RETURN_IF_ERROR(db.Insert(
+      "Competition",
+      {Value::BaseConst("c"), Value::BaseConst("s"), alpha}));
+  MUDB_RETURN_IF_ERROR(
+      db.Insert("Excluded", {bottom, Value::BaseConst("s")}));
+  return out;
+}
+
+}  // namespace mudb::datagen

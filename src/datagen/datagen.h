@@ -1,0 +1,72 @@
+// Synthetic data generation — the DataFiller [10] replacement used by the
+// experimental evaluation (Section 9).
+//
+// Provides a small spec-driven generator plus factories for the two databases
+// the paper uses: the sales database of §9 (Products / Orders / Market,
+// ~200K tuples, numeric nulls injected at a configurable rate) and the
+// campaign database of the introduction (Products / Competition / Excluded
+// with the two numeric nulls α, α' and one base null).
+
+#ifndef MUDB_SRC_DATAGEN_DATAGEN_H_
+#define MUDB_SRC_DATAGEN_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/model/database.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace mudb::datagen {
+
+/// Specification of one generated column.
+struct ColumnSpec {
+  std::string name;
+  model::Sort sort = model::Sort::kNum;
+  /// Numeric columns: uniform in [lo, hi], rounded to `decimals` places.
+  double lo = 0.0;
+  double hi = 1.0;
+  int decimals = 2;
+  /// Base columns: values "<prefix><k>" with k uniform in [0, cardinality).
+  std::string prefix;
+  int64_t cardinality = 1;
+  /// Probability that an entry is a fresh marked null (numeric columns get
+  /// ⊤-nulls, base columns ⊥-nulls).
+  double null_rate = 0.0;
+};
+
+/// Creates relation `name` with `rows` rows in `db` according to the specs.
+util::Status GenerateRelation(model::Database* db, const std::string& name,
+                              const std::vector<ColumnSpec>& columns,
+                              int64_t rows, util::Rng& rng);
+
+/// Configuration of the §9 sales database.
+struct SalesConfig {
+  int64_t num_products = 100'000;
+  int64_t num_orders = 60'000;
+  int64_t num_segments = 500;
+  /// Fraction of numeric entries replaced by fresh nulls.
+  double null_rate = 0.05;
+  uint64_t seed = 42;
+};
+
+/// Builds the sales database:
+///   Products(id:base, seg:base, rrp:num, dis:num)
+///   Orders(id:base, pr:base, q:num, dis:num)     pr references Products.id
+///   Market(seg:base, rrp:num, dis:num)           one row per segment
+/// Numeric entries are nulled independently with probability null_rate.
+util::StatusOr<model::Database> MakeSalesDatabase(const SalesConfig& config);
+
+/// Builds the introduction's campaign database. Outputs the null ids:
+/// alpha = the Competition price ⊤, alpha_prime = the product rrp ⊤'.
+struct CampaignDatabase {
+  model::Database db;
+  model::NullId alpha;        // Competition price null
+  model::NullId alpha_prime;  // Products rrp null
+};
+util::StatusOr<CampaignDatabase> MakeCampaignDatabase();
+
+}  // namespace mudb::datagen
+
+#endif  // MUDB_SRC_DATAGEN_DATAGEN_H_

@@ -1,0 +1,191 @@
+#include "src/engine/cq.h"
+
+#include <set>
+#include <sstream>
+
+namespace mudb::engine {
+
+namespace {
+
+using logic::AtomArg;
+using logic::Term;
+
+bool IsSimpleNumArg(const Term& t) {
+  return t.kind() == Term::Kind::kVar || t.kind() == Term::Kind::kConst;
+}
+
+}  // namespace
+
+util::Status ConjunctiveQuery::Validate(const model::Database& db) const {
+  std::map<std::string, model::Sort> var_sorts;
+  for (const CqAtom& atom : atoms) {
+    MUDB_ASSIGN_OR_RETURN(const model::Relation* rel,
+                          db.GetRelation(atom.relation));
+    const model::RelationSchema& schema = rel->schema();
+    if (atom.args.size() != schema.arity()) {
+      return util::Status::InvalidArgument(
+          "atom " + atom.relation + " arity mismatch");
+    }
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const AtomArg& a = atom.args[i];
+      if (a.sort() != schema.column(i).sort) {
+        return util::Status::InvalidArgument(
+            "atom " + atom.relation + " argument " + std::to_string(i) +
+            " sort mismatch");
+      }
+      if (a.sort() == model::Sort::kNum && !IsSimpleNumArg(a.term())) {
+        return util::Status::InvalidArgument(
+            "numeric atom arguments must be variables or constants; move '" +
+            a.term().ToString() + "' into a comparison");
+      }
+      if (a.sort() == model::Sort::kBase && a.base().is_var()) {
+        auto [it, ok] = var_sorts.emplace(a.base().text(), model::Sort::kBase);
+        if (!ok && it->second != model::Sort::kBase) {
+          return util::Status::InvalidArgument("variable " + a.base().text() +
+                                               " used with two sorts");
+        }
+      }
+      if (a.sort() == model::Sort::kNum &&
+          a.term().kind() == Term::Kind::kVar) {
+        auto [it, ok] = var_sorts.emplace(a.term().var_name(), model::Sort::kNum);
+        if (!ok && it->second != model::Sort::kNum) {
+          return util::Status::InvalidArgument(
+              "variable " + a.term().var_name() + " used with two sorts");
+        }
+      }
+    }
+  }
+  // Comparisons and base equalities may only mention bound variables.
+  for (const CqComparison& cmp : comparisons) {
+    std::set<std::string> vars;
+    cmp.lhs.CollectVariables(&vars);
+    cmp.rhs.CollectVariables(&vars);
+    for (const std::string& v : vars) {
+      auto it = var_sorts.find(v);
+      if (it == var_sorts.end() || it->second != model::Sort::kNum) {
+        return util::Status::InvalidArgument(
+            "comparison uses variable " + v + " not bound by a numeric atom "
+            "position");
+      }
+    }
+  }
+  for (const CqBaseEquality& eq : base_equalities) {
+    for (const logic::BaseArg* a : {&eq.lhs, &eq.rhs}) {
+      if (a->is_var()) {
+        auto it = var_sorts.find(a->text());
+        if (it == var_sorts.end() || it->second != model::Sort::kBase) {
+          return util::Status::InvalidArgument(
+              "base equality uses unbound variable " + a->text());
+        }
+      }
+    }
+  }
+  for (const logic::TypedVar& v : output) {
+    auto it = var_sorts.find(v.name);
+    if (it == var_sorts.end()) {
+      return util::Status::InvalidArgument("output variable " + v.name +
+                                           " is not bound by any atom");
+    }
+    if (it->second != v.sort) {
+      return util::Status::InvalidArgument("output variable " + v.name +
+                                           " has the wrong sort");
+    }
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<logic::Query> ConjunctiveQuery::ToQuery(
+    const model::Database& db) const {
+  MUDB_RETURN_IF_ERROR(Validate(db));
+  std::vector<logic::Formula> parts;
+  for (const CqAtom& atom : atoms) {
+    parts.push_back(logic::Formula::Rel(atom.relation, atom.args));
+  }
+  for (const CqBaseEquality& eq : base_equalities) {
+    parts.push_back(logic::Formula::BaseEq(eq.lhs, eq.rhs));
+  }
+  for (const CqComparison& cmp : comparisons) {
+    parts.push_back(logic::Formula::Cmp(cmp.lhs, cmp.op, cmp.rhs));
+  }
+  logic::Formula body = logic::Formula::And(std::move(parts));
+
+  // Existentially close everything that is not an output variable.
+  std::set<std::string> out_names;
+  for (const logic::TypedVar& v : output) out_names.insert(v.name);
+  std::vector<logic::TypedVar> to_close;
+  for (const auto& [name, sort] : body.FreeVariables()) {
+    if (out_names.count(name) == 0) {
+      to_close.push_back(logic::TypedVar{name, sort});
+    }
+  }
+  logic::Formula closed = logic::Formula::ExistsMany(std::move(to_close),
+                                                     std::move(body));
+  return logic::Query::MakeWithOutput(std::move(closed), output, db);
+}
+
+util::Status UnionQuery::Validate(const model::Database& db) const {
+  if (branches.empty()) {
+    return util::Status::InvalidArgument("union query has no branches");
+  }
+  for (const ConjunctiveQuery& cq : branches) {
+    MUDB_RETURN_IF_ERROR(cq.Validate(db));
+  }
+  const std::vector<logic::TypedVar>& first = branches[0].output;
+  for (size_t b = 1; b < branches.size(); ++b) {
+    const std::vector<logic::TypedVar>& out = branches[b].output;
+    if (out.size() != first.size()) {
+      return util::Status::InvalidArgument(
+          "union branches have different output arities");
+    }
+    for (size_t i = 0; i < out.size(); ++i) {
+      if (out[i].sort != first[i].sort) {
+        return util::Status::InvalidArgument(
+            "union branches disagree on the sort of output column " +
+            std::to_string(i));
+      }
+    }
+  }
+  return util::Status::OK();
+}
+
+std::string UnionQuery::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < branches.size(); ++i) {
+    if (i > 0) out << " UNION ";
+    out << branches[i].ToString();
+  }
+  if (limit) out << " LIMIT " << *limit;
+  return out.str();
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::ostringstream out;
+  out << "SELECT ";
+  for (size_t i = 0; i < output.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << output[i].name;
+  }
+  out << " WHERE ";
+  bool first = true;
+  for (const CqAtom& a : atoms) {
+    if (!first) out << " AND ";
+    first = false;
+    out << a.relation << "(";
+    for (size_t i = 0; i < a.args.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << a.args[i].ToString();
+    }
+    out << ")";
+  }
+  for (const CqBaseEquality& eq : base_equalities) {
+    out << " AND " << eq.lhs.ToString() << " = " << eq.rhs.ToString();
+  }
+  for (const CqComparison& c : comparisons) {
+    out << " AND " << c.lhs.ToString() << " "
+        << constraints::CmpOpToString(c.op) << " " << c.rhs.ToString();
+  }
+  if (limit) out << " LIMIT " << *limit;
+  return out.str();
+}
+
+}  // namespace mudb::engine

@@ -1,0 +1,79 @@
+// Conjunctive queries with arithmetic: the execution-friendly IR for the
+// ∃,∧-fragment CQ(+,·,<) used by the experimental pipeline of Section 9.
+//
+// A ConjunctiveQuery is a join of relational atoms, a set of arithmetic
+// comparisons, an output (projection) list, and an optional LIMIT — exactly
+// the shape of the paper's three decision-support SQL queries. The SQL
+// front-end (src/sql) parses into this IR; ToQuery() converts to a general
+// logic::Query so results can be cross-checked against the active-domain
+// grounding.
+
+#ifndef MUDB_SRC_ENGINE_CQ_H_
+#define MUDB_SRC_ENGINE_CQ_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/logic/formula.h"
+#include "src/model/database.h"
+#include "src/util/status.h"
+
+namespace mudb::engine {
+
+/// A relational atom R(a_1, ..., a_n). Numeric arguments must be variables
+/// or constants (compound terms belong in comparisons).
+struct CqAtom {
+  std::string relation;
+  std::vector<logic::AtomArg> args;
+};
+
+/// An arithmetic comparison between numeric terms.
+struct CqComparison {
+  logic::Term lhs;
+  logic::CmpOp op;
+  logic::Term rhs;
+};
+
+/// An equality between base arguments (e.g. a join condition P.seg = M.seg
+/// that the planner did not absorb into variable sharing).
+struct CqBaseEquality {
+  logic::BaseArg lhs;
+  logic::BaseArg rhs;
+};
+
+struct ConjunctiveQuery {
+  std::vector<CqAtom> atoms;
+  std::vector<CqComparison> comparisons;
+  std::vector<CqBaseEquality> base_equalities;
+  /// Output columns; each must be a variable bound by some atom.
+  std::vector<logic::TypedVar> output;
+  /// Keep only the first `limit` distinct output tuples (enumeration order).
+  std::optional<size_t> limit;
+
+  /// Structural and schema validation.
+  util::Status Validate(const model::Database& db) const;
+
+  /// The equivalent logic::Query (existentially closing non-output
+  /// variables). Used for differential testing against GroundQuery.
+  util::StatusOr<logic::Query> ToQuery(const model::Database& db) const;
+
+  std::string ToString() const;
+};
+
+/// A union of conjunctive queries (UCQ): the paper's other tractable
+/// fragment ("conjunctive queries and their unions"). All branches must have
+/// the same output arity and sorts; the result is the set union of the
+/// branch results, with candidate constraints OR-ed across branches.
+struct UnionQuery {
+  std::vector<ConjunctiveQuery> branches;
+  /// Keep only the first `limit` distinct output tuples of the union.
+  std::optional<size_t> limit;
+
+  util::Status Validate(const model::Database& db) const;
+  std::string ToString() const;
+};
+
+}  // namespace mudb::engine
+
+#endif  // MUDB_SRC_ENGINE_CQ_H_

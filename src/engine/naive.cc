@@ -1,0 +1,267 @@
+#include "src/engine/naive.h"
+
+#include <map>
+#include <vector>
+
+namespace mudb::engine {
+
+namespace {
+
+using logic::AtomArg;
+using logic::Formula;
+using logic::Term;
+using model::Database;
+using model::Sort;
+using model::Tuple;
+using model::Value;
+
+struct Domains {
+  std::vector<std::string> base;
+  std::vector<double> num;
+};
+
+Domains CollectDomains(const Database& db) {
+  Domains d;
+  std::set<std::string> sb;
+  std::set<double> sn;
+  for (const auto& [name, rel] : db.relations()) {
+    for (const Tuple& t : rel.tuples()) {
+      for (const Value& v : t) {
+        if (v.kind() == Value::Kind::kBaseConst) {
+          sb.insert(v.base_const());
+        } else if (v.kind() == Value::Kind::kNumConst) {
+          sn.insert(v.num_const());
+        }
+      }
+    }
+  }
+  d.base.assign(sb.begin(), sb.end());
+  d.num.assign(sn.begin(), sn.end());
+  return d;
+}
+
+struct Env {
+  std::map<std::string, std::string> base;
+  std::map<std::string, double> num;
+};
+
+util::StatusOr<double> EvalTerm(const Term& t, const Env& env) {
+  switch (t.kind()) {
+    case Term::Kind::kVar: {
+      auto it = env.num.find(t.var_name());
+      if (it == env.num.end()) {
+        return util::Status::InvalidArgument("unbound variable " +
+                                             t.var_name());
+      }
+      return it->second;
+    }
+    case Term::Kind::kConst:
+      return t.const_value();
+    case Term::Kind::kAdd: {
+      MUDB_ASSIGN_OR_RETURN(double a, EvalTerm(t.children()[0], env));
+      MUDB_ASSIGN_OR_RETURN(double b, EvalTerm(t.children()[1], env));
+      return a + b;
+    }
+    case Term::Kind::kMul: {
+      MUDB_ASSIGN_OR_RETURN(double a, EvalTerm(t.children()[0], env));
+      MUDB_ASSIGN_OR_RETURN(double b, EvalTerm(t.children()[1], env));
+      return a * b;
+    }
+    case Term::Kind::kNeg: {
+      MUDB_ASSIGN_OR_RETURN(double a, EvalTerm(t.children()[0], env));
+      return -a;
+    }
+  }
+  return util::Status::Internal("unreachable");
+}
+
+util::StatusOr<std::string> EvalBase(const logic::BaseArg& a, const Env& env) {
+  if (!a.is_var()) return a.text();
+  auto it = env.base.find(a.text());
+  if (it == env.base.end()) {
+    return util::Status::InvalidArgument("unbound variable " + a.text());
+  }
+  return it->second;
+}
+
+util::StatusOr<bool> Eval(const Formula& f, const Database& db,
+                          const Domains& domains, Env* env) {
+  switch (f.kind()) {
+    case Formula::Kind::kRelAtom: {
+      MUDB_ASSIGN_OR_RETURN(const model::Relation* rel,
+                            db.GetRelation(f.relation()));
+      std::vector<std::string> base_args(f.args().size());
+      std::vector<double> num_args(f.args().size());
+      for (size_t i = 0; i < f.args().size(); ++i) {
+        const AtomArg& a = f.args()[i];
+        if (a.sort() == Sort::kBase) {
+          MUDB_ASSIGN_OR_RETURN(base_args[i], EvalBase(a.base(), *env));
+        } else {
+          MUDB_ASSIGN_OR_RETURN(num_args[i], EvalTerm(a.term(), *env));
+        }
+      }
+      for (const Tuple& t : rel->tuples()) {
+        bool match = true;
+        for (size_t i = 0; i < t.size() && match; ++i) {
+          if (t[i].sort() == Sort::kBase) {
+            match = t[i].base_const() == base_args[i];
+          } else {
+            match = t[i].num_const() == num_args[i];
+          }
+        }
+        if (match) return true;
+      }
+      return false;
+    }
+    case Formula::Kind::kBaseEq: {
+      MUDB_ASSIGN_OR_RETURN(std::string lhs, EvalBase(f.base_lhs(), *env));
+      MUDB_ASSIGN_OR_RETURN(std::string rhs, EvalBase(f.base_rhs(), *env));
+      return lhs == rhs;
+    }
+    case Formula::Kind::kCmp: {
+      MUDB_ASSIGN_OR_RETURN(double lhs, EvalTerm(f.cmp_lhs(), *env));
+      MUDB_ASSIGN_OR_RETURN(double rhs, EvalTerm(f.cmp_rhs(), *env));
+      double diff = lhs - rhs;
+      int sign = diff > 0 ? 1 : (diff < 0 ? -1 : 0);
+      return constraints::CmpTruthFromSign(f.cmp_op(), sign);
+    }
+    case Formula::Kind::kAnd: {
+      for (const Formula& c : f.children()) {
+        MUDB_ASSIGN_OR_RETURN(bool v, Eval(c, db, domains, env));
+        if (!v) return false;
+      }
+      return true;
+    }
+    case Formula::Kind::kOr: {
+      for (const Formula& c : f.children()) {
+        MUDB_ASSIGN_OR_RETURN(bool v, Eval(c, db, domains, env));
+        if (v) return true;
+      }
+      return false;
+    }
+    case Formula::Kind::kNot: {
+      MUDB_ASSIGN_OR_RETURN(bool v, Eval(f.children()[0], db, domains, env));
+      return !v;
+    }
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall: {
+      const bool is_exists = f.kind() == Formula::Kind::kExists;
+      const logic::TypedVar& var = f.quantified_var();
+      if (var.sort == Sort::kBase) {
+        auto saved = env->base.count(var.name)
+                         ? std::optional<std::string>(env->base[var.name])
+                         : std::nullopt;
+        for (const std::string& c : domains.base) {
+          env->base[var.name] = c;
+          MUDB_ASSIGN_OR_RETURN(bool v,
+                                Eval(f.children()[0], db, domains, env));
+          if (v == is_exists) {
+            if (saved) {
+              env->base[var.name] = *saved;
+            } else {
+              env->base.erase(var.name);
+            }
+            return is_exists;
+          }
+        }
+        if (saved) {
+          env->base[var.name] = *saved;
+        } else {
+          env->base.erase(var.name);
+        }
+        return !is_exists;
+      }
+      auto saved = env->num.count(var.name)
+                       ? std::optional<double>(env->num[var.name])
+                       : std::nullopt;
+      for (double c : domains.num) {
+        env->num[var.name] = c;
+        MUDB_ASSIGN_OR_RETURN(bool v, Eval(f.children()[0], db, domains, env));
+        if (v == is_exists) {
+          if (saved) {
+            env->num[var.name] = *saved;
+          } else {
+            env->num.erase(var.name);
+          }
+          return is_exists;
+        }
+      }
+      if (saved) {
+        env->num[var.name] = *saved;
+      } else {
+        env->num.erase(var.name);
+      }
+      return !is_exists;
+    }
+  }
+  return util::Status::Internal("unreachable");
+}
+
+util::Status CheckComplete(const Database& db) {
+  for (const auto& [name, rel] : db.relations()) {
+    for (const Tuple& t : rel.tuples()) {
+      for (const Value& v : t) {
+        if (v.is_null()) {
+          return util::Status::InvalidArgument(
+              "naive evaluation requires a complete database; found " +
+              v.ToString() + " in " + name);
+        }
+      }
+    }
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::StatusOr<bool> NaiveHolds(const logic::Query& q, const Database& db,
+                                const Tuple& candidate) {
+  MUDB_RETURN_IF_ERROR(CheckComplete(db));
+  MUDB_RETURN_IF_ERROR(q.formula.Typecheck(db));
+  if (candidate.size() != q.output.size()) {
+    return util::Status::InvalidArgument("candidate arity mismatch");
+  }
+  Domains domains = CollectDomains(db);
+  Env env;
+  for (size_t i = 0; i < candidate.size(); ++i) {
+    if (q.output[i].sort == Sort::kBase) {
+      env.base[q.output[i].name] = candidate[i].base_const();
+    } else {
+      env.num[q.output[i].name] = candidate[i].num_const();
+    }
+  }
+  return Eval(q.formula, db, domains, &env);
+}
+
+util::StatusOr<std::set<Tuple>> NaiveEvaluate(const logic::Query& q,
+                                              const Database& db) {
+  MUDB_RETURN_IF_ERROR(CheckComplete(db));
+  Domains domains = CollectDomains(db);
+  std::set<Tuple> out;
+  // Enumerate assignments of output variables over the active domains.
+  std::vector<Value> current(q.output.size());
+  std::function<util::Status(size_t)> rec =
+      [&](size_t i) -> util::Status {
+    if (i == q.output.size()) {
+      MUDB_ASSIGN_OR_RETURN(bool holds, NaiveHolds(q, db, current));
+      if (holds) out.insert(current);
+      return util::Status::OK();
+    }
+    if (q.output[i].sort == Sort::kBase) {
+      for (const std::string& c : domains.base) {
+        current[i] = Value::BaseConst(c);
+        MUDB_RETURN_IF_ERROR(rec(i + 1));
+      }
+    } else {
+      for (double c : domains.num) {
+        current[i] = Value::NumConst(c);
+        MUDB_RETURN_IF_ERROR(rec(i + 1));
+      }
+    }
+    return util::Status::OK();
+  };
+  MUDB_RETURN_IF_ERROR(rec(0));
+  return out;
+}
+
+}  // namespace mudb::engine

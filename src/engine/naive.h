@@ -1,0 +1,35 @@
+// Reference FO(+,·,<) evaluation over *complete* databases (no nulls), with
+// active-domain quantifier semantics (Section 3: quantifiers range over the
+// elements of the database).
+//
+// This is the semantic ground truth used in tests: for a complete database,
+// μ(q, D, a) ∈ {0, 1} and equals membership of `a` in the naive evaluation
+// result, so the grounding + measure pipeline can be differentially checked
+// against this evaluator.
+
+#ifndef MUDB_SRC_ENGINE_NAIVE_H_
+#define MUDB_SRC_ENGINE_NAIVE_H_
+
+#include <set>
+
+#include "src/logic/formula.h"
+#include "src/model/database.h"
+#include "src/util/status.h"
+
+namespace mudb::engine {
+
+/// Evaluates a Boolean combination / quantified formula with all free
+/// variables bound by `candidate` (parallel to q.output). The database must
+/// be complete (InvalidArgument otherwise).
+util::StatusOr<bool> NaiveHolds(const logic::Query& q,
+                                const model::Database& db,
+                                const model::Tuple& candidate);
+
+/// All answers of q over the complete database (active-domain enumeration of
+/// the output variables). Exponential in the output arity; testing use only.
+util::StatusOr<std::set<model::Tuple>> NaiveEvaluate(
+    const logic::Query& q, const model::Database& db);
+
+}  // namespace mudb::engine
+
+#endif  // MUDB_SRC_ENGINE_NAIVE_H_

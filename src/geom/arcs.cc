@@ -1,0 +1,120 @@
+#include "src/geom/arcs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace mudb::geom {
+
+namespace {
+
+constexpr double kPi = M_PI;
+constexpr double kTwoPi = 2.0 * M_PI;
+
+// Reduces an angle into [-π, π).
+double Reduce(double a) {
+  a = std::fmod(a + kPi, kTwoPi);
+  if (a < 0) a += kTwoPi;
+  return a - kPi;
+}
+
+}  // namespace
+
+ArcSet ArcSet::FullCircle() {
+  ArcSet s;
+  s.arcs_.push_back({-kPi, kPi});
+  return s;
+}
+
+void ArcSet::AddInterval(double lo, double hi) {
+  double width = hi - lo;
+  if (width <= 0) return;
+  if (width >= kTwoPi) {
+    arcs_.assign(1, {-kPi, kPi});
+    return;
+  }
+  double rlo = Reduce(lo);
+  double rhi = rlo + width;
+  if (rhi <= kPi) {
+    arcs_.push_back({rlo, rhi});
+  } else {
+    arcs_.push_back({rlo, kPi});
+    arcs_.push_back({-kPi, rhi - kTwoPi});
+  }
+  Normalize();
+}
+
+void ArcSet::Normalize() {
+  if (arcs_.empty()) return;
+  std::sort(arcs_.begin(), arcs_.end(),
+            [](const Arc& a, const Arc& b) { return a.lo < b.lo; });
+  std::vector<Arc> merged;
+  for (const Arc& a : arcs_) {
+    if (a.hi <= a.lo) continue;
+    if (!merged.empty() && a.lo <= merged.back().hi) {
+      merged.back().hi = std::max(merged.back().hi, a.hi);
+    } else {
+      merged.push_back(a);
+    }
+  }
+  arcs_ = std::move(merged);
+}
+
+ArcSet ArcSet::Union(const ArcSet& other) const {
+  ArcSet out = *this;
+  out.arcs_.insert(out.arcs_.end(), other.arcs_.begin(), other.arcs_.end());
+  out.Normalize();
+  return out;
+}
+
+ArcSet ArcSet::Intersect(const ArcSet& other) const {
+  ArcSet out;
+  size_t i = 0, j = 0;
+  while (i < arcs_.size() && j < other.arcs_.size()) {
+    const Arc& a = arcs_[i];
+    const Arc& b = other.arcs_[j];
+    double lo = std::max(a.lo, b.lo);
+    double hi = std::min(a.hi, b.hi);
+    if (lo < hi) out.arcs_.push_back({lo, hi});
+    if (a.hi < b.hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+ArcSet ArcSet::Complement() const {
+  ArcSet out;
+  double cursor = -kPi;
+  for (const Arc& a : arcs_) {
+    if (a.lo > cursor) out.arcs_.push_back({cursor, a.lo});
+    cursor = std::max(cursor, a.hi);
+  }
+  if (cursor < kPi) out.arcs_.push_back({cursor, kPi});
+  out.Normalize();
+  return out;
+}
+
+double ArcSet::Measure() const {
+  double m = 0.0;
+  for (const Arc& a : arcs_) m += a.Length();
+  return m;
+}
+
+double ArcSet::Fraction() const { return Measure() / kTwoPi; }
+
+std::string ArcSet::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  for (size_t i = 0; i < arcs_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "[" << arcs_[i].lo << ", " << arcs_[i].hi << ")";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace mudb::geom

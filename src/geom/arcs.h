@@ -1,0 +1,60 @@
+// Arc arithmetic on the unit circle: finite unions of angular intervals.
+//
+// Used by the exact 2-D measure engine: for a formula over two variables, the
+// set of directions (cos θ, sin θ) whose asymptotic truth value is 1 is a
+// finite union of arcs; ν(φ) is its total length divided by 2π.
+
+#ifndef MUDB_SRC_GEOM_ARCS_H_
+#define MUDB_SRC_GEOM_ARCS_H_
+
+#include <string>
+#include <vector>
+
+namespace mudb::geom {
+
+/// A half-open angular interval [lo, hi) with -π <= lo < hi <= π.
+/// (Arcs crossing the ±π cut are represented as two intervals by ArcSet.)
+struct Arc {
+  double lo;
+  double hi;
+
+  double Length() const { return hi - lo; }
+};
+
+/// A normalized finite union of disjoint arcs within [-π, π).
+class ArcSet {
+ public:
+  ArcSet() = default;
+
+  /// The full circle.
+  static ArcSet FullCircle();
+
+  /// Adds [lo, hi); angles are reduced modulo 2π into [-π, π) and wrapping
+  /// intervals are split. Empty intervals (hi <= lo after reduction of the
+  /// *un-reduced* width) are ignored; widths >= 2π give the full circle.
+  void AddInterval(double lo, double hi);
+
+  /// Union, intersection and complement (within the circle).
+  ArcSet Union(const ArcSet& other) const;
+  ArcSet Intersect(const ArcSet& other) const;
+  ArcSet Complement() const;
+
+  /// Total angular measure in [0, 2π].
+  double Measure() const;
+  /// Measure() / 2π.
+  double Fraction() const;
+
+  bool IsEmpty() const { return arcs_.empty(); }
+  const std::vector<Arc>& arcs() const { return arcs_; }
+
+  std::string ToString() const;
+
+ private:
+  void Normalize();
+
+  std::vector<Arc> arcs_;
+};
+
+}  // namespace mudb::geom
+
+#endif  // MUDB_SRC_GEOM_ARCS_H_

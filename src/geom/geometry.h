@@ -1,0 +1,37 @@
+// Euclidean geometry substrate: ball volumes, uniform sampling on spheres and
+// balls (the sampling primitive of the AFPRAS, cf. [8] Blum–Hopcroft–Kannan),
+// and small vector helpers.
+
+#ifndef MUDB_SRC_GEOM_GEOMETRY_H_
+#define MUDB_SRC_GEOM_GEOMETRY_H_
+
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace mudb::geom {
+
+using Vec = std::vector<double>;
+
+/// Euclidean norm.
+double Norm(const Vec& v);
+/// Dot product (vectors of equal size).
+double Dot(const Vec& a, const Vec& b);
+/// a + s·b.
+Vec AddScaled(const Vec& a, double s, const Vec& b);
+
+/// Volume of the n-dimensional ball of radius r (exact closed form
+/// π^{n/2} r^n / Γ(n/2 + 1); n = 0 gives 1, matching Vol(R^0) = 1 in §4).
+double BallVolume(int n, double r = 1.0);
+
+/// A point uniformly distributed on the unit sphere S^{n-1}: normalized
+/// vector of n iid standard Gaussians.
+Vec SampleUnitSphere(int n, util::Rng& rng);
+
+/// A point uniformly distributed in the unit ball B^n: sphere sample scaled
+/// by U^{1/n}.
+Vec SampleUnitBall(int n, util::Rng& rng);
+
+}  // namespace mudb::geom
+
+#endif  // MUDB_SRC_GEOM_GEOMETRY_H_

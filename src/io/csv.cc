@@ -1,0 +1,228 @@
+#include "src/io/csv.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace mudb::io {
+
+namespace {
+
+using model::Database;
+using model::RelationSchema;
+using model::Sort;
+using model::Tuple;
+using model::Value;
+
+// Splits one CSV record into fields, honouring double-quoted fields with
+// doubled-quote escapes.
+util::StatusOr<std::vector<std::string>> SplitRecord(const std::string& line,
+                                                     char delimiter) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  if (in_quotes) {
+    return util::Status::InvalidArgument("unterminated quoted field: " + line);
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+// Shared-null bookkeeping for tagged null tokens ("NULL:7") so identical
+// marks in one load become the same marked null.
+class NullRegistry {
+ public:
+  explicit NullRegistry(Database* db) : db_(db) {}
+
+  util::StatusOr<Value> Resolve(const std::string& tag, Sort sort) {
+    auto it = named_.find(tag);
+    if (it != named_.end()) {
+      if (it->second.sort() != sort) {
+        return util::Status::InvalidArgument(
+            "null tag " + tag + " used in columns of both sorts");
+      }
+      return it->second;
+    }
+    Value v = sort == Sort::kBase ? db_->MakeBaseNull() : db_->MakeNumNull();
+    named_.emplace(tag, v);
+    return v;
+  }
+
+  Value Fresh(Sort sort) {
+    return sort == Sort::kBase ? db_->MakeBaseNull() : db_->MakeNumNull();
+  }
+
+ private:
+  Database* db_;
+  std::map<std::string, Value> named_;
+};
+
+}  // namespace
+
+util::StatusOr<size_t> LoadCsvRelation(Database* db,
+                                       const RelationSchema& schema,
+                                       const std::string& csv,
+                                       const CsvOptions& options) {
+  MUDB_RETURN_IF_ERROR(db->CreateRelation(schema));
+  MUDB_ASSIGN_OR_RETURN(model::Relation * rel,
+                        db->GetMutableRelation(schema.name()));
+  NullRegistry nulls(db);
+
+  std::istringstream lines(csv);
+  std::string line;
+  size_t rows = 0;
+  bool header_pending = options.has_header;
+  size_t line_no = 0;
+  const std::string tagged_prefix = options.null_token + ":";
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    MUDB_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                          SplitRecord(line, options.delimiter));
+    if (header_pending) {
+      header_pending = false;
+      if (fields.size() != schema.arity()) {
+        return util::Status::InvalidArgument(
+            "header has " + std::to_string(fields.size()) +
+            " columns, schema expects " + std::to_string(schema.arity()));
+      }
+      for (size_t i = 0; i < fields.size(); ++i) {
+        if (fields[i] != schema.column(i).name) {
+          return util::Status::InvalidArgument(
+              "header column " + std::to_string(i) + " is '" + fields[i] +
+              "', schema expects '" + schema.column(i).name + "'");
+        }
+      }
+      continue;
+    }
+    if (fields.size() != schema.arity()) {
+      return util::Status::InvalidArgument(
+          "line " + std::to_string(line_no) + " has " +
+          std::to_string(fields.size()) + " fields, schema expects " +
+          std::to_string(schema.arity()));
+    }
+    Tuple tuple;
+    tuple.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      const std::string& cell = fields[i];
+      Sort sort = schema.column(i).sort;
+      if (cell == options.null_token) {
+        tuple.push_back(nulls.Fresh(sort));
+      } else if (cell.rfind(tagged_prefix, 0) == 0) {
+        MUDB_ASSIGN_OR_RETURN(Value v, nulls.Resolve(cell, sort));
+        tuple.push_back(v);
+      } else if (sort == Sort::kBase) {
+        tuple.push_back(Value::BaseConst(cell));
+      } else {
+        try {
+          size_t consumed = 0;
+          double d = std::stod(cell, &consumed);
+          if (consumed != cell.size()) {
+            throw std::invalid_argument(cell);
+          }
+          tuple.push_back(Value::NumConst(d));
+        } catch (...) {
+          return util::Status::InvalidArgument(
+              "line " + std::to_string(line_no) + ": '" + cell +
+              "' is not numeric (column " + schema.column(i).name + ")");
+        }
+      }
+    }
+    MUDB_RETURN_IF_ERROR(rel->Insert(std::move(tuple)));
+    ++rows;
+  }
+  return rows;
+}
+
+util::StatusOr<size_t> LoadCsvRelationFromFile(Database* db,
+                                               const RelationSchema& schema,
+                                               const std::string& path,
+                                               const CsvOptions& options) {
+  std::ifstream file(path);
+  if (!file) {
+    return util::Status::NotFound("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return LoadCsvRelation(db, schema, buffer.str(), options);
+}
+
+util::Status WriteCsvRelation(const model::Relation& relation,
+                              std::ostream& out, const CsvOptions& options) {
+  const RelationSchema& schema = relation.schema();
+  auto write_cell = [&](const std::string& text) {
+    bool needs_quotes = text.find(options.delimiter) != std::string::npos ||
+                        text.find('"') != std::string::npos ||
+                        text.find('\n') != std::string::npos;
+    if (!needs_quotes) {
+      out << text;
+      return;
+    }
+    out << '"';
+    for (char c : text) {
+      if (c == '"') out << '"';
+      out << c;
+    }
+    out << '"';
+  };
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    if (i > 0) out << options.delimiter;
+    write_cell(schema.column(i).name);
+  }
+  out << "\n";
+  for (const Tuple& t : relation.tuples()) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) out << options.delimiter;
+      const Value& v = t[i];
+      switch (v.kind()) {
+        case Value::Kind::kBaseConst:
+          write_cell(v.base_const());
+          break;
+        case Value::Kind::kNumConst: {
+          std::ostringstream num;
+          num.precision(17);
+          num << v.num_const();
+          out << num.str();
+          break;
+        }
+        case Value::Kind::kBaseNull:
+          // Sort-qualified tags keep ⊥_i and ⊤_i distinct on reload.
+          out << options.null_token << ":b" << v.null_id();
+          break;
+        case Value::Kind::kNumNull:
+          out << options.null_token << ":n" << v.null_id();
+          break;
+      }
+    }
+    out << "\n";
+  }
+  if (!out) {
+    return util::Status::Internal("stream write failed");
+  }
+  return util::Status::OK();
+}
+
+}  // namespace mudb::io

@@ -1,0 +1,399 @@
+#include "src/logic/formula.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mudb::logic {
+
+Formula Formula::Rel(std::string relation, std::vector<AtomArg> args) {
+  Formula f;
+  f.kind_ = Kind::kRelAtom;
+  f.relation_ = std::move(relation);
+  f.args_ = std::move(args);
+  return f;
+}
+
+Formula Formula::BaseEq(BaseArg lhs, BaseArg rhs) {
+  Formula f;
+  f.kind_ = Kind::kBaseEq;
+  f.base_args_.push_back(std::move(lhs));
+  f.base_args_.push_back(std::move(rhs));
+  return f;
+}
+
+Formula Formula::Cmp(Term lhs, CmpOp op, Term rhs) {
+  Formula f;
+  f.kind_ = Kind::kCmp;
+  f.terms_.push_back(std::move(lhs));
+  f.terms_.push_back(std::move(rhs));
+  f.cmp_op_ = op;
+  return f;
+}
+
+Formula Formula::And(std::vector<Formula> children) {
+  Formula f;
+  f.kind_ = Kind::kAnd;
+  f.children_ = std::move(children);
+  return f;
+}
+
+Formula Formula::Or(std::vector<Formula> children) {
+  Formula f;
+  f.kind_ = Kind::kOr;
+  f.children_ = std::move(children);
+  return f;
+}
+
+Formula Formula::Not(Formula child) {
+  Formula f;
+  f.kind_ = Kind::kNot;
+  f.children_.push_back(std::move(child));
+  return f;
+}
+
+Formula Formula::Exists(TypedVar var, Formula child) {
+  Formula f;
+  f.kind_ = Kind::kExists;
+  f.qvar_ = std::move(var);
+  f.children_.push_back(std::move(child));
+  return f;
+}
+
+Formula Formula::Forall(TypedVar var, Formula child) {
+  Formula f;
+  f.kind_ = Kind::kForall;
+  f.qvar_ = std::move(var);
+  f.children_.push_back(std::move(child));
+  return f;
+}
+
+Formula Formula::ExistsMany(std::vector<TypedVar> vars, Formula child) {
+  Formula f = std::move(child);
+  for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+    f = Exists(*it, std::move(f));
+  }
+  return f;
+}
+
+Formula Formula::ForallMany(std::vector<TypedVar> vars, Formula child) {
+  Formula f = std::move(child);
+  for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+    f = Forall(*it, std::move(f));
+  }
+  return f;
+}
+
+Formula Formula::Implies(Formula lhs, Formula rhs) {
+  std::vector<Formula> children;
+  children.push_back(Not(std::move(lhs)));
+  children.push_back(std::move(rhs));
+  return Or(std::move(children));
+}
+
+void Formula::CollectFree(std::set<std::string>* bound,
+                          std::map<std::string, model::Sort>* free) const {
+  auto add = [&](const std::string& name, model::Sort sort) {
+    if (bound->count(name) == 0) free->emplace(name, sort);
+  };
+  switch (kind_) {
+    case Kind::kRelAtom:
+      for (const AtomArg& a : args_) {
+        if (a.sort() == model::Sort::kBase) {
+          if (a.base().is_var()) add(a.base().text(), model::Sort::kBase);
+        } else {
+          std::set<std::string> vars;
+          a.term().CollectVariables(&vars);
+          for (const std::string& v : vars) add(v, model::Sort::kNum);
+        }
+      }
+      return;
+    case Kind::kBaseEq:
+      for (const BaseArg& a : base_args_) {
+        if (a.is_var()) add(a.text(), model::Sort::kBase);
+      }
+      return;
+    case Kind::kCmp: {
+      std::set<std::string> vars;
+      terms_[0].CollectVariables(&vars);
+      terms_[1].CollectVariables(&vars);
+      for (const std::string& v : vars) add(v, model::Sort::kNum);
+      return;
+    }
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kNot:
+      for (const Formula& c : children_) c.CollectFree(bound, free);
+      return;
+    case Kind::kExists:
+    case Kind::kForall: {
+      bool was_bound = bound->count(qvar_.name) > 0;
+      bound->insert(qvar_.name);
+      children_[0].CollectFree(bound, free);
+      if (!was_bound) bound->erase(qvar_.name);
+      return;
+    }
+  }
+}
+
+std::map<std::string, model::Sort> Formula::FreeVariables() const {
+  std::set<std::string> bound;
+  std::map<std::string, model::Sort> free;
+  CollectFree(&bound, &free);
+  return free;
+}
+
+namespace {
+
+// Records / verifies a single sort per variable name in scope.
+util::Status NoteVar(const std::string& name, model::Sort sort,
+                     std::map<std::string, model::Sort>* sorts) {
+  auto [it, inserted] = sorts->emplace(name, sort);
+  if (!inserted && it->second != sort) {
+    return util::Status::InvalidArgument(
+        "variable " + name + " used with both sorts base and num");
+  }
+  return util::Status::OK();
+}
+
+util::Status TypecheckRec(const Formula& f, const model::Database& db,
+                          std::map<std::string, model::Sort>* sorts) {
+  using Kind = Formula::Kind;
+  switch (f.kind()) {
+    case Kind::kRelAtom: {
+      MUDB_ASSIGN_OR_RETURN(const model::Relation* rel,
+                            db.GetRelation(f.relation()));
+      const model::RelationSchema& schema = rel->schema();
+      if (f.args().size() != schema.arity()) {
+        return util::Status::InvalidArgument(
+            "atom " + f.relation() + " has " + std::to_string(f.args().size()) +
+            " arguments, schema arity is " + std::to_string(schema.arity()));
+      }
+      for (size_t i = 0; i < f.args().size(); ++i) {
+        const AtomArg& a = f.args()[i];
+        if (a.sort() != schema.column(i).sort) {
+          return util::Status::InvalidArgument(
+              "argument " + std::to_string(i) + " of " + f.relation() +
+              " has sort " + model::SortToString(a.sort()) +
+              ", column expects " +
+              model::SortToString(schema.column(i).sort));
+        }
+        if (a.sort() == model::Sort::kBase) {
+          if (a.base().is_var()) {
+            MUDB_RETURN_IF_ERROR(
+                NoteVar(a.base().text(), model::Sort::kBase, sorts));
+          }
+        } else {
+          std::set<std::string> vars;
+          a.term().CollectVariables(&vars);
+          for (const std::string& v : vars) {
+            MUDB_RETURN_IF_ERROR(NoteVar(v, model::Sort::kNum, sorts));
+          }
+        }
+      }
+      return util::Status::OK();
+    }
+    case Kind::kBaseEq:
+      if (f.base_lhs().is_var()) {
+        MUDB_RETURN_IF_ERROR(
+            NoteVar(f.base_lhs().text(), model::Sort::kBase, sorts));
+      }
+      if (f.base_rhs().is_var()) {
+        MUDB_RETURN_IF_ERROR(
+            NoteVar(f.base_rhs().text(), model::Sort::kBase, sorts));
+      }
+      return util::Status::OK();
+    case Kind::kCmp: {
+      std::set<std::string> vars;
+      f.cmp_lhs().CollectVariables(&vars);
+      f.cmp_rhs().CollectVariables(&vars);
+      for (const std::string& v : vars) {
+        MUDB_RETURN_IF_ERROR(NoteVar(v, model::Sort::kNum, sorts));
+      }
+      return util::Status::OK();
+    }
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kNot:
+      for (const Formula& c : f.children()) {
+        MUDB_RETURN_IF_ERROR(TypecheckRec(c, db, sorts));
+      }
+      return util::Status::OK();
+    case Kind::kExists:
+    case Kind::kForall: {
+      // The quantified variable shadows any outer use; typecheck the body in
+      // a scope where its sort is fixed by the quantifier.
+      std::map<std::string, model::Sort> inner = *sorts;
+      inner[f.quantified_var().name] = f.quantified_var().sort;
+      MUDB_RETURN_IF_ERROR(TypecheckRec(f.children()[0], db, &inner));
+      return util::Status::OK();
+    }
+  }
+  return util::Status::Internal("unreachable");
+}
+
+}  // namespace
+
+util::Status Formula::Typecheck(const model::Database& db) const {
+  std::map<std::string, model::Sort> sorts;
+  return TypecheckRec(*this, db, &sorts);
+}
+
+bool Formula::IsConjunctive() const {
+  switch (kind_) {
+    case Kind::kRelAtom:
+    case Kind::kBaseEq:
+    case Kind::kCmp:
+      return true;
+    case Kind::kAnd:
+    case Kind::kExists:
+      return std::all_of(children_.begin(), children_.end(),
+                         [](const Formula& c) { return c.IsConjunctive(); });
+    case Kind::kOr:
+    case Kind::kNot:
+    case Kind::kForall:
+      return false;
+  }
+  return false;
+}
+
+namespace {
+
+bool TermUses(const Term& t, Term::Kind kind) {
+  if (t.kind() == kind) return true;
+  for (const Term& c : t.children()) {
+    if (TermUses(c, kind)) return true;
+  }
+  return false;
+}
+
+bool FormulaUsesTermKind(const Formula& f, Term::Kind kind) {
+  switch (f.kind()) {
+    case Formula::Kind::kRelAtom:
+      for (const AtomArg& a : f.args()) {
+        if (a.sort() == model::Sort::kNum && TermUses(a.term(), kind)) {
+          return true;
+        }
+      }
+      return false;
+    case Formula::Kind::kCmp:
+      return TermUses(f.cmp_lhs(), kind) || TermUses(f.cmp_rhs(), kind);
+    case Formula::Kind::kBaseEq:
+      return false;
+    default:
+      for (const Formula& c : f.children()) {
+        if (FormulaUsesTermKind(c, kind)) return true;
+      }
+      return false;
+  }
+}
+
+}  // namespace
+
+bool Formula::UsesMultiplication() const {
+  return FormulaUsesTermKind(*this, Term::Kind::kMul);
+}
+
+bool Formula::UsesAddition() const {
+  return FormulaUsesTermKind(*this, Term::Kind::kAdd) ||
+         FormulaUsesTermKind(*this, Term::Kind::kNeg);
+}
+
+std::string Formula::FragmentName() const {
+  std::string ops;
+  if (UsesMultiplication()) {
+    ops = "+,\xC2\xB7,<";  // +,·,<
+  } else if (UsesAddition()) {
+    ops = "+,<";
+  } else {
+    ops = "<";
+  }
+  return (IsConjunctive() ? std::string("CQ(") : std::string("FO(")) + ops +
+         ")";
+}
+
+std::string Formula::ToString() const {
+  switch (kind_) {
+    case Kind::kRelAtom: {
+      std::ostringstream out;
+      out << relation_ << "(";
+      for (size_t i = 0; i < args_.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << args_[i].ToString();
+      }
+      out << ")";
+      return out.str();
+    }
+    case Kind::kBaseEq:
+      return base_args_[0].ToString() + " = " + base_args_[1].ToString();
+    case Kind::kCmp:
+      return terms_[0].ToString() + " " +
+             constraints::CmpOpToString(cmp_op_) + " " + terms_[1].ToString();
+    case Kind::kAnd:
+    case Kind::kOr: {
+      if (children_.empty()) return kind_ == Kind::kAnd ? "true" : "false";
+      std::ostringstream out;
+      out << "(";
+      const char* sep = kind_ == Kind::kAnd ? " && " : " || ";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out << sep;
+        out << children_[i].ToString();
+      }
+      out << ")";
+      return out.str();
+    }
+    case Kind::kNot:
+      return "!(" + children_[0].ToString() + ")";
+    case Kind::kExists:
+    case Kind::kForall:
+      return std::string(kind_ == Kind::kExists ? "\xE2\x88\x83" : "\xE2\x88\x80") +
+             qvar_.name + ":" + model::SortToString(qvar_.sort) + ". " +
+             children_[0].ToString();
+  }
+  return "?";
+}
+
+util::StatusOr<Query> Query::Make(Formula formula, const model::Database& db) {
+  MUDB_RETURN_IF_ERROR(formula.Typecheck(db));
+  std::vector<TypedVar> output;
+  for (const auto& [name, sort] : formula.FreeVariables()) {
+    output.push_back(TypedVar{name, sort});
+  }
+  return Query{std::move(formula), std::move(output)};
+}
+
+util::StatusOr<Query> Query::MakeWithOutput(Formula formula,
+                                            std::vector<TypedVar> output,
+                                            const model::Database& db) {
+  MUDB_RETURN_IF_ERROR(formula.Typecheck(db));
+  std::map<std::string, model::Sort> free = formula.FreeVariables();
+  if (output.size() != free.size()) {
+    return util::Status::InvalidArgument(
+        "output has " + std::to_string(output.size()) + " variables, formula has " +
+        std::to_string(free.size()) + " free variables");
+  }
+  for (const TypedVar& v : output) {
+    auto it = free.find(v.name);
+    if (it == free.end()) {
+      return util::Status::InvalidArgument("output variable " + v.name +
+                                           " is not free in the formula");
+    }
+    if (it->second != v.sort) {
+      return util::Status::InvalidArgument("output variable " + v.name +
+                                           " has the wrong sort");
+    }
+  }
+  return Query{std::move(formula), std::move(output)};
+}
+
+std::string Query::ToString() const {
+  std::ostringstream out;
+  out << "q(";
+  for (size_t i = 0; i < output.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << output[i].name << ":" << model::SortToString(output[i].sort);
+  }
+  out << ") = " << formula.ToString();
+  return out.str();
+}
+
+}  // namespace mudb::logic

@@ -1,0 +1,205 @@
+// Formulae of two-sorted first-order logic with arithmetic, FO(+,·,<)
+// (Section 3 of the paper), and the Query wrapper with named output columns.
+//
+// Atomic formulae:
+//   * R(a_1, ..., a_n)  — relational atom; base positions take base variables
+//     or base constants, numeric positions take numeric terms;
+//   * x = y             — equality of base variables/constants;
+//   * t ◦ t'            — comparison of numeric terms, ◦ ∈ {<, ≤, =, ≠, ≥, >}.
+// Formulae close under ∧, ∨, ¬, ∃, ∀. Quantified variables are typed.
+
+#ifndef MUDB_SRC_LOGIC_FORMULA_H_
+#define MUDB_SRC_LOGIC_FORMULA_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/constraints/real_formula.h"  // for CmpOp
+#include "src/logic/term.h"
+#include "src/model/database.h"
+#include "src/util/status.h"
+
+namespace mudb::logic {
+
+using constraints::CmpOp;
+
+/// A base-sorted argument: a variable or a base constant.
+class BaseArg {
+ public:
+  static BaseArg Var(std::string name) {
+    BaseArg a;
+    a.is_var_ = true;
+    a.text_ = std::move(name);
+    return a;
+  }
+  static BaseArg Const(std::string value) {
+    BaseArg a;
+    a.is_var_ = false;
+    a.text_ = std::move(value);
+    return a;
+  }
+
+  bool is_var() const { return is_var_; }
+  /// Variable name or constant text, depending on is_var().
+  const std::string& text() const { return text_; }
+
+  std::string ToString() const {
+    return is_var_ ? text_ : "'" + text_ + "'";
+  }
+
+ private:
+  bool is_var_ = true;
+  std::string text_;
+};
+
+/// One argument of a relational atom: a base argument or a numeric term,
+/// matching the sort of the corresponding schema column.
+class AtomArg {
+ public:
+  static AtomArg Base(BaseArg arg) {
+    AtomArg a;
+    a.sort_ = model::Sort::kBase;
+    a.base_ = std::move(arg);
+    return a;
+  }
+  static AtomArg Num(Term term) {
+    AtomArg a;
+    a.sort_ = model::Sort::kNum;
+    a.term_ = std::move(term);
+    return a;
+  }
+  /// Shorthands.
+  static AtomArg BaseVar(std::string name) { return Base(BaseArg::Var(std::move(name))); }
+  static AtomArg BaseConst(std::string v) { return Base(BaseArg::Const(std::move(v))); }
+  static AtomArg NumVar(std::string name) { return Num(Term::Var(std::move(name))); }
+  static AtomArg NumConst(double v) { return Num(Term::Const(v)); }
+
+  model::Sort sort() const { return sort_; }
+  const BaseArg& base() const { return base_; }
+  const Term& term() const { return term_; }
+
+  std::string ToString() const {
+    return sort_ == model::Sort::kBase ? base_.ToString() : term_.ToString();
+  }
+
+ private:
+  model::Sort sort_ = model::Sort::kBase;
+  BaseArg base_ = BaseArg::Var("");
+  Term term_;
+};
+
+/// A typed variable (used by quantifiers and query output columns).
+struct TypedVar {
+  std::string name;
+  model::Sort sort;
+
+  bool operator==(const TypedVar& other) const {
+    return name == other.name && sort == other.sort;
+  }
+};
+
+/// A formula of FO(+,·,<). Value type (tree).
+class Formula {
+ public:
+  enum class Kind {
+    kRelAtom,
+    kBaseEq,
+    kCmp,
+    kAnd,
+    kOr,
+    kNot,
+    kExists,
+    kForall,
+  };
+
+  Formula() : kind_(Kind::kAnd) {}  // empty conjunction = true
+
+  /// R(args...).
+  static Formula Rel(std::string relation, std::vector<AtomArg> args);
+  /// lhs = rhs over the base sort.
+  static Formula BaseEq(BaseArg lhs, BaseArg rhs);
+  /// lhs ◦ rhs over numeric terms.
+  static Formula Cmp(Term lhs, CmpOp op, Term rhs);
+  static Formula And(std::vector<Formula> children);
+  static Formula Or(std::vector<Formula> children);
+  static Formula Not(Formula child);
+  static Formula Exists(TypedVar var, Formula child);
+  static Formula Forall(TypedVar var, Formula child);
+  /// ∃ chain over several variables.
+  static Formula ExistsMany(std::vector<TypedVar> vars, Formula child);
+  /// ∀ chain over several variables.
+  static Formula ForallMany(std::vector<TypedVar> vars, Formula child);
+  /// Implication sugar: ¬lhs ∨ rhs.
+  static Formula Implies(Formula lhs, Formula rhs);
+
+  Kind kind() const { return kind_; }
+  const std::string& relation() const { return relation_; }
+  const std::vector<AtomArg>& args() const { return args_; }
+  const BaseArg& base_lhs() const { return base_args_[0]; }
+  const BaseArg& base_rhs() const { return base_args_[1]; }
+  const Term& cmp_lhs() const { return terms_[0]; }
+  const Term& cmp_rhs() const { return terms_[1]; }
+  CmpOp cmp_op() const { return cmp_op_; }
+  const TypedVar& quantified_var() const { return qvar_; }
+  const std::vector<Formula>& children() const { return children_; }
+
+  /// Free variables with their sorts. Requires consistent sorts (checked by
+  /// Typecheck; this function assumes them).
+  std::map<std::string, model::Sort> FreeVariables() const;
+
+  /// Validates the formula against a database's schemas: relations exist,
+  /// arities/sorts match, every variable has a single sort, no variable is
+  /// both free and quantified inconsistently.
+  util::Status Typecheck(const model::Database& db) const;
+
+  /// True for the ∃,∧-fragment (conjunctive queries): only kRelAtom, kBaseEq,
+  /// kCmp, kAnd and kExists nodes.
+  bool IsConjunctive() const;
+  /// True if some numeric term uses multiplication.
+  bool UsesMultiplication() const;
+  /// True if some numeric term uses addition/negation.
+  bool UsesAddition() const;
+  /// Language fragment label: "CQ(<)", "CQ(+,<)", "FO(<)", "FO(+,<)",
+  /// "FO(+,·,<)". (Order comparisons are assumed present.)
+  std::string FragmentName() const;
+
+  std::string ToString() const;
+
+ private:
+  void CollectFree(std::set<std::string>* bound,
+                   std::map<std::string, model::Sort>* free) const;
+
+  Kind kind_;
+  std::string relation_;
+  std::vector<AtomArg> args_;
+  std::vector<BaseArg> base_args_;  // size 2 iff kBaseEq
+  std::vector<Term> terms_;         // size 2 iff kCmp
+  CmpOp cmp_op_ = CmpOp::kEq;
+  TypedVar qvar_;
+  std::vector<Formula> children_;
+};
+
+/// A query: a formula plus an explicit ordering of its free variables, which
+/// defines the output columns (x̄; ȳ in the paper's q(x̄, ȳ)).
+struct Query {
+  Formula formula;
+  std::vector<TypedVar> output;
+
+  /// Builds a query whose output order is the formula's free variables in
+  /// name order. Fails if typechecking fails.
+  static util::StatusOr<Query> Make(Formula formula,
+                                    const model::Database& db);
+  /// As Make, but with an explicit output order (must match the free vars).
+  static util::StatusOr<Query> MakeWithOutput(Formula formula,
+                                              std::vector<TypedVar> output,
+                                              const model::Database& db);
+
+  bool IsBoolean() const { return output.empty(); }
+  std::string ToString() const;
+};
+
+}  // namespace mudb::logic
+
+#endif  // MUDB_SRC_LOGIC_FORMULA_H_

@@ -1,0 +1,83 @@
+#include "src/logic/term.h"
+
+#include <sstream>
+
+namespace mudb::logic {
+
+Term Term::Var(std::string name) {
+  Term t;
+  t.kind_ = Kind::kVar;
+  t.name_ = std::move(name);
+  return t;
+}
+
+Term Term::Const(double value) {
+  Term t;
+  t.kind_ = Kind::kConst;
+  t.value_ = value;
+  return t;
+}
+
+Term Term::Add(Term lhs, Term rhs) {
+  Term t;
+  t.kind_ = Kind::kAdd;
+  t.children_.push_back(std::move(lhs));
+  t.children_.push_back(std::move(rhs));
+  return t;
+}
+
+Term Term::Mul(Term lhs, Term rhs) {
+  Term t;
+  t.kind_ = Kind::kMul;
+  t.children_.push_back(std::move(lhs));
+  t.children_.push_back(std::move(rhs));
+  return t;
+}
+
+Term Term::Neg(Term operand) {
+  Term t;
+  t.kind_ = Kind::kNeg;
+  t.children_.push_back(std::move(operand));
+  return t;
+}
+
+const std::string& Term::var_name() const {
+  MUDB_CHECK(kind_ == Kind::kVar);
+  return name_;
+}
+
+double Term::const_value() const {
+  MUDB_CHECK(kind_ == Kind::kConst);
+  return value_;
+}
+
+void Term::CollectVariables(std::set<std::string>* out) const {
+  if (kind_ == Kind::kVar) {
+    out->insert(name_);
+    return;
+  }
+  for (const Term& c : children_) c.CollectVariables(out);
+}
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case Kind::kVar:
+      return name_;
+    case Kind::kConst: {
+      std::ostringstream out;
+      out << value_;
+      return out.str();
+    }
+    case Kind::kAdd:
+      return "(" + children_[0].ToString() + " + " + children_[1].ToString() +
+             ")";
+    case Kind::kMul:
+      return "(" + children_[0].ToString() + " * " + children_[1].ToString() +
+             ")";
+    case Kind::kNeg:
+      return "-(" + children_[0].ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace mudb::logic

@@ -1,0 +1,63 @@
+// Numeric terms of FO(+,·,<) (Section 3, "Terms").
+//
+// A numeric term is built from numeric variables, numeric constants, + and ·
+// (with unary minus as derived syntax). Base-type "terms" are just variables
+// or constants and are represented directly in atoms (see formula.h).
+
+#ifndef MUDB_SRC_LOGIC_TERM_H_
+#define MUDB_SRC_LOGIC_TERM_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace mudb::logic {
+
+/// A numeric term: variable, constant, sum, product, or negation. Value type.
+class Term {
+ public:
+  enum class Kind { kVar, kConst, kAdd, kMul, kNeg };
+
+  /// A numeric variable with the given name.
+  static Term Var(std::string name);
+  /// A numeric constant.
+  static Term Const(double value);
+  static Term Add(Term lhs, Term rhs);
+  static Term Mul(Term lhs, Term rhs);
+  static Term Neg(Term operand);
+  /// Derived: lhs + (-rhs).
+  static Term Sub(Term lhs, Term rhs) { return Add(std::move(lhs), Neg(std::move(rhs))); }
+
+  Term() : kind_(Kind::kConst), value_(0.0) {}
+
+  Kind kind() const { return kind_; }
+  /// Variable name; requires kind() == kVar.
+  const std::string& var_name() const;
+  /// Constant value; requires kind() == kConst.
+  double const_value() const;
+  /// Children; non-empty for kAdd/kMul (2) and kNeg (1).
+  const std::vector<Term>& children() const { return children_; }
+
+  /// Adds all variable names occurring in the term to `out`.
+  void CollectVariables(std::set<std::string>* out) const;
+
+  std::string ToString() const;
+
+ private:
+  Kind kind_;
+  std::string name_;
+  double value_ = 0.0;
+  std::vector<Term> children_;
+};
+
+/// Convenience operators for building terms in examples and tests.
+inline Term operator+(Term a, Term b) { return Term::Add(std::move(a), std::move(b)); }
+inline Term operator-(Term a, Term b) { return Term::Sub(std::move(a), std::move(b)); }
+inline Term operator*(Term a, Term b) { return Term::Mul(std::move(a), std::move(b)); }
+inline Term operator-(Term a) { return Term::Neg(std::move(a)); }
+
+}  // namespace mudb::logic
+
+#endif  // MUDB_SRC_LOGIC_TERM_H_

@@ -1,0 +1,45 @@
+// A dense two-phase simplex solver for small linear programs.
+//
+//   maximize    c·x
+//   subject to  A x <= b,   x free
+//
+// Free variables are handled by the x = x⁺ − x⁻ split; infeasibility is
+// detected with a phase-1 artificial objective; Bland's rule prevents
+// cycling. Problem sizes in mudb are tiny (n, m in the tens): the FPRAS of
+// Thm. 7.1 uses the LP to (a) discard empty cone disjuncts and (b) find an
+// inner ball seeding the annealed volume estimator.
+
+#ifndef MUDB_SRC_LP_SIMPLEX_H_
+#define MUDB_SRC_LP_SIMPLEX_H_
+
+#include <vector>
+
+namespace mudb::lp {
+
+/// Outcome of an LP solve.
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+};
+
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  /// Optimal point (valid iff status == kOptimal).
+  std::vector<double> x;
+  /// Optimal objective value (valid iff status == kOptimal).
+  double objective = 0.0;
+};
+
+/// Solves max c·x s.t. A x <= b over free x. `a` has one row per constraint;
+/// all rows must have size == c.size().
+LpResult SolveLp(const std::vector<std::vector<double>>& a,
+                 const std::vector<double>& b, const std::vector<double>& c);
+
+/// Convenience: feasibility of A x <= b (maximizes the zero objective).
+bool IsFeasible(const std::vector<std::vector<double>>& a,
+                const std::vector<double>& b, int num_vars);
+
+}  // namespace mudb::lp
+
+#endif  // MUDB_SRC_LP_SIMPLEX_H_

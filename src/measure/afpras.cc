@@ -1,0 +1,89 @@
+#include "src/measure/afpras.h"
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "src/geom/geometry.h"
+
+namespace mudb::measure {
+
+int64_t AfprasSampleCount(double epsilon, double delta) {
+  MUDB_CHECK(epsilon > 0 && epsilon <= 1);
+  MUDB_CHECK(delta > 0 && delta < 1);
+  double m = std::log(2.0 / delta) / (2.0 * epsilon * epsilon);
+  return static_cast<int64_t>(std::ceil(m));
+}
+
+util::StatusOr<AfprasResult> Afpras(const constraints::RealFormula& formula,
+                                    const AfprasOptions& options,
+                                    util::Rng& rng) {
+  if (options.epsilon <= 0 || options.epsilon > 1) {
+    return util::Status::InvalidArgument("epsilon must be in (0, 1]");
+  }
+  AfprasResult result;
+  if (formula.is_constant()) {
+    result.estimate =
+        formula.kind() == constraints::RealFormula::Kind::kTrue ? 1.0 : 0.0;
+    return result;
+  }
+
+  constraints::RealFormula working = formula;
+  int dim = formula.NumVariables();
+  if (options.restrict_to_used_vars) {
+    std::set<int> used = formula.UsedVariables();
+    MUDB_CHECK(!used.empty());  // non-constant formula must use a variable
+    std::vector<int> remap(*used.rbegin() + 1, -1);
+    int next = 0;
+    for (int v : used) remap[v] = next++;
+    working = formula.RemapVariables(remap);
+    dim = next;
+  }
+  result.sampled_dimension = dim;
+
+  int64_t m = options.num_samples > 0
+                  ? options.num_samples
+                  : AfprasSampleCount(options.epsilon, options.delta);
+
+  // Directions only matter, so sampling the unit sphere is equivalent to
+  // sampling the ball (Lemma 8.3 integrates over directions).
+  auto count_hits = [&](int64_t samples, util::Rng& local_rng) {
+    int64_t hits = 0;
+    for (int64_t s = 0; s < samples; ++s) {
+      geom::Vec a = geom::SampleUnitSphere(dim, local_rng);
+      if (working.AsymptoticTruth(a, options.coefficient_tolerance)) ++hits;
+    }
+    return hits;
+  };
+
+  int64_t hits = 0;
+  int threads = std::max(1, options.num_threads);
+  if (threads == 1 || m < 2 * threads) {
+    hits = count_hits(m, rng);
+  } else {
+    // Deterministic substreams: worker seeds come from the caller's Rng in a
+    // fixed order, so the result depends only on (seed, num_threads).
+    std::vector<uint64_t> seeds(threads);
+    for (uint64_t& s : seeds) {
+      s = static_cast<uint64_t>(rng.UniformInt(0, std::numeric_limits<int64_t>::max()));
+    }
+    std::vector<int64_t> partial(threads, 0);
+    std::vector<std::thread> workers;
+    int64_t chunk = m / threads;
+    for (int t = 0; t < threads; ++t) {
+      int64_t samples = t == threads - 1 ? m - chunk * (threads - 1) : chunk;
+      workers.emplace_back([&, t, samples] {
+        util::Rng local_rng(seeds[t]);
+        partial[t] = count_hits(samples, local_rng);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    for (int64_t p : partial) hits += p;
+  }
+  result.samples = m;
+  result.estimate = static_cast<double>(hits) / static_cast<double>(m);
+  return result;
+}
+
+}  // namespace mudb::measure

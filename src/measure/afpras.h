@@ -1,0 +1,58 @@
+// AFPRAS (Thm. 8.1): additive fully polynomial-time randomized approximation
+// of ν(φ) for arbitrary FO(+,·,<) groundings.
+//
+// By Lemma 8.3, ν(φ) equals the fraction of directions a in the unit ball
+// with lim_{k→∞} f_{φ,a}(k) = 1; the limit is decided per direction in
+// polynomial time by leading-coefficient analysis (Lemma 8.4, implemented in
+// RealFormula::AsymptoticTruth). Sampling m >= ln(2/δ)/(2ε²) directions gives
+// |estimate − ν| < ε with probability >= 1 − δ (Hoeffding; the paper quotes
+// m >= ε^{-2} for δ = 1/4).
+
+#ifndef MUDB_SRC_MEASURE_AFPRAS_H_
+#define MUDB_SRC_MEASURE_AFPRAS_H_
+
+#include <cstdint>
+
+#include "src/constraints/real_formula.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace mudb::measure {
+
+struct AfprasOptions {
+  /// Additive error bound ε ∈ (0, 1].
+  double epsilon = 0.01;
+  /// Failure probability δ ∈ (0, 1).
+  double delta = 0.25;
+  /// Overrides the sample count computed from (ε, δ) when > 0.
+  int64_t num_samples = 0;
+  /// The §9 optimization: sample only the coordinates of nulls that occur in
+  /// the formula (the remaining coordinates cannot affect the truth value,
+  /// and dropping them does not change the directional distribution).
+  bool restrict_to_used_vars = true;
+  /// Absolute tolerance when deciding whether a restricted coefficient is 0.
+  double coefficient_tolerance = 1e-12;
+  /// Worker threads for the sampling loop. Results are deterministic given
+  /// (seed, num_threads): each worker gets an independent substream seeded
+  /// from the caller's Rng, independent of scheduling.
+  int num_threads = 1;
+};
+
+struct AfprasResult {
+  double estimate = 0.0;
+  int64_t samples = 0;
+  /// Dimension actually sampled (after restriction to used variables).
+  int sampled_dimension = 0;
+};
+
+/// Number of samples required for additive error ε with confidence 1 − δ.
+int64_t AfprasSampleCount(double epsilon, double delta);
+
+/// Runs the AFPRAS on φ. Constant formulae return exactly 0 or 1.
+util::StatusOr<AfprasResult> Afpras(const constraints::RealFormula& formula,
+                                    const AfprasOptions& options,
+                                    util::Rng& rng);
+
+}  // namespace mudb::measure
+
+#endif  // MUDB_SRC_MEASURE_AFPRAS_H_

@@ -1,0 +1,86 @@
+#include "src/measure/conditional.h"
+
+#include <cmath>
+
+namespace mudb::measure {
+
+util::StatusOr<AfprasResult> ConditionalAfpras(
+    const constraints::RealFormula& formula, const VarRanges& ranges,
+    const AfprasOptions& options, util::Rng& rng) {
+  if (options.epsilon <= 0 || options.epsilon > 1) {
+    return util::Status::InvalidArgument("epsilon must be in (0, 1]");
+  }
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    if (ranges[i].bounded() && *ranges[i].lo > *ranges[i].hi) {
+      return util::Status::InvalidArgument(
+          "empty range on variable z" + std::to_string(i));
+    }
+  }
+  AfprasResult result;
+  if (formula.is_constant()) {
+    result.estimate =
+        formula.kind() == constraints::RealFormula::Kind::kTrue ? 1.0 : 0.0;
+    return result;
+  }
+
+  // Restrict to the variables occurring in the formula; constraints on
+  // unused variables marginalize out (their interval factor cancels in the
+  // numerator/denominator ratio).
+  constraints::RealFormula working = formula;
+  std::vector<VarRange> var_ranges;
+  if (options.restrict_to_used_vars) {
+    std::set<int> used = formula.UsedVariables();
+    MUDB_CHECK(!used.empty());
+    std::vector<int> remap(*used.rbegin() + 1, -1);
+    int next = 0;
+    for (int v : used) {
+      remap[v] = next++;
+      var_ranges.push_back(static_cast<size_t>(v) < ranges.size()
+                               ? ranges[v]
+                               : VarRange::Free());
+    }
+    working = formula.RemapVariables(remap);
+  } else {
+    int n = std::max(formula.NumVariables(),
+                     static_cast<int>(ranges.size()));
+    for (int v = 0; v < n; ++v) {
+      var_ranges.push_back(static_cast<size_t>(v) < ranges.size()
+                               ? ranges[v]
+                               : VarRange::Free());
+    }
+  }
+  const int dim = static_cast<int>(var_ranges.size());
+  result.sampled_dimension = dim;
+
+  std::vector<bool> scaled(dim);
+  for (int i = 0; i < dim; ++i) scaled[i] = !var_ranges[i].bounded();
+
+  int64_t m = options.num_samples > 0
+                  ? options.num_samples
+                  : AfprasSampleCount(options.epsilon, options.delta);
+  std::vector<double> a(dim);
+  int64_t hits = 0;
+  for (int64_t s = 0; s < m; ++s) {
+    for (int i = 0; i < dim; ++i) {
+      const VarRange& r = var_ranges[i];
+      if (r.bounded()) {
+        a[i] = rng.Uniform(*r.lo, *r.hi);
+      } else if (r.lo) {
+        a[i] = std::fabs(rng.Gaussian());   // direction into [lo, ∞)
+      } else if (r.hi) {
+        a[i] = -std::fabs(rng.Gaussian());  // direction into (-∞, hi]
+      } else {
+        a[i] = rng.Gaussian();
+      }
+    }
+    if (working.AsymptoticTruthPartial(a, scaled,
+                                       options.coefficient_tolerance)) {
+      ++hits;
+    }
+  }
+  result.samples = m;
+  result.estimate = static_cast<double>(hits) / static_cast<double>(m);
+  return result;
+}
+
+}  // namespace mudb::measure

@@ -1,0 +1,126 @@
+#include "src/measure/fpras.h"
+
+#include <cmath>
+
+#include "src/geom/geometry.h"
+#include "src/volume/union_volume.h"
+
+namespace mudb::measure {
+
+namespace {
+
+using constraints::CmpOp;
+using constraints::Conjunction;
+using constraints::RealAtom;
+using constraints::RealFormula;
+
+// Translates one homogenized disjunct into cone halfspaces. Returns false if
+// the disjunct has measure zero (contains a nontrivial equality or an
+// unsatisfiable trivial atom).
+bool DisjunctToHalfspaces(const Conjunction& conj, int dim,
+                          std::vector<std::pair<geom::Vec, double>>* out) {
+  for (const RealAtom& atom : conj) {
+    geom::Vec a(dim, 0.0);
+    bool any = false;
+    for (int j = 0; j < dim; ++j) {
+      a[j] = atom.poly.LinearCoefficient(j);
+      if (a[j] != 0.0) any = true;
+    }
+    if (!any) {
+      // 0 ◦ 0 after homogenization: true for ≤, =, ≥; false otherwise.
+      if (atom.op == CmpOp::kLt || atom.op == CmpOp::kGt ||
+          atom.op == CmpOp::kNeq) {
+        return false;
+      }
+      continue;
+    }
+    switch (atom.op) {
+      case CmpOp::kLt:
+      case CmpOp::kLe:
+        out->emplace_back(a, 0.0);
+        break;
+      case CmpOp::kGt:
+      case CmpOp::kGe: {
+        for (double& v : a) v = -v;
+        out->emplace_back(a, 0.0);
+        break;
+      }
+      case CmpOp::kEq:
+        return false;  // a nontrivial hyperplane: measure zero
+      case CmpOp::kNeq:
+        break;  // removes a measure-zero set; ignore
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+util::StatusOr<FprasResult> FprasConjunctive(
+    const constraints::RealFormula& formula, const FprasOptions& options,
+    util::Rng& rng) {
+  FprasResult result;
+  if (formula.is_constant()) {
+    result.trivial = true;
+    result.estimate =
+        formula.kind() == RealFormula::Kind::kTrue ? 1.0 : 0.0;
+    return result;
+  }
+  if (!formula.IsLinear()) {
+    return util::Status::InvalidArgument(
+        "FPRAS requires linear constraints (CQ(+,<) image); "
+        "use the AFPRAS for FO(+,\xC2\xB7,<)");
+  }
+
+  RealFormula working = formula;
+  int dim = formula.NumVariables();
+  if (options.restrict_to_used_vars) {
+    std::set<int> used = formula.UsedVariables();
+    MUDB_CHECK(!used.empty());
+    std::vector<int> remap(*used.rbegin() + 1, -1);
+    int next = 0;
+    for (int v : used) remap[v] = next++;
+    working = formula.RemapVariables(remap);
+    dim = next;
+  }
+  result.sampled_dimension = dim;
+
+  MUDB_ASSIGN_OR_RETURN(std::vector<Conjunction> dnf,
+                        working.ToDnf(options.max_disjuncts));
+
+  std::vector<volume::SeededBody> bodies;
+  for (const Conjunction& conj : dnf) {
+    Conjunction hom = constraints::HomogenizeLinear(conj);
+    std::vector<std::pair<geom::Vec, double>> halfspaces;
+    if (!DisjunctToHalfspaces(hom, dim, &halfspaces)) continue;
+    if (halfspaces.empty()) {
+      // The disjunct covers the whole space: ν = 1 exactly.
+      result.trivial = true;
+      result.estimate = 1.0;
+      return result;
+    }
+    auto inner = convex::FindInnerBall(halfspaces, dim, 1.0);
+    if (!inner) continue;  // empty interior: volume 0
+    convex::ConvexBody body(dim);
+    for (auto& [a, b] : halfspaces) body.AddHalfspace(std::move(a), b);
+    body.AddBall(geom::Vec(dim, 0.0), 1.0);
+    double outer_bound = 1.0 + geom::Norm(inner->center) + 1e-9;
+    bodies.push_back(
+        volume::SeededBody{std::move(body), *inner, outer_bound});
+  }
+  result.active_disjuncts = static_cast<int>(bodies.size());
+  if (bodies.empty()) {
+    result.estimate = 0.0;
+    return result;
+  }
+
+  volume::UnionVolumeOptions uopts;
+  uopts.epsilon = options.epsilon;
+  uopts.body_volume.epsilon = options.epsilon;
+  MUDB_ASSIGN_OR_RETURN(volume::UnionVolumeResult uv,
+                        volume::EstimateUnionVolume(bodies, uopts, rng));
+  result.estimate = uv.volume / geom::BallVolume(dim, 1.0);
+  return result;
+}
+
+}  // namespace mudb::measure

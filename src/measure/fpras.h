@@ -1,0 +1,52 @@
+// FPRAS (Thm. 7.1): multiplicative approximation of ν(φ) for the image of
+// CQ(+,<) — formulae whose DNF disjuncts are conjunctions of *linear* atoms.
+//
+// Pipeline: DNF → homogenize every disjunct (drop constant terms; by [11]
+// ν(φ) is the unit-ball volume fraction of the homogenized formula) → each
+// disjunct is a convex cone ∩ B_1 with a membership oracle → per-cone inner
+// ball via LP → annealed hit-and-run volume per cone → Karp–Luby union
+// estimator → divide by Vol(B_1^n).
+//
+// Disjuncts containing a nontrivial equality atom span a measure-zero set and
+// are dropped; ≠ atoms only remove measure-zero sets and are ignored.
+
+#ifndef MUDB_SRC_MEASURE_FPRAS_H_
+#define MUDB_SRC_MEASURE_FPRAS_H_
+
+#include <cstdint>
+
+#include "src/constraints/real_formula.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace mudb::measure {
+
+struct FprasOptions {
+  /// Target relative error ε ∈ (0, 1].
+  double epsilon = 0.1;
+  /// Cap on the number of DNF disjuncts.
+  size_t max_disjuncts = 4096;
+  /// As in AfprasOptions: compact away unused variables first.
+  bool restrict_to_used_vars = true;
+};
+
+struct FprasResult {
+  double estimate = 0.0;
+  /// Number of cone bodies with nonempty interior that entered the union
+  /// estimate.
+  int active_disjuncts = 0;
+  /// Dimension after variable restriction.
+  int sampled_dimension = 0;
+  /// True when the formula collapsed to a trivial 0/1 without sampling.
+  bool trivial = false;
+};
+
+/// Runs the FPRAS. Fails with InvalidArgument if some atom is nonlinear and
+/// ResourceExhausted if the DNF exceeds max_disjuncts.
+util::StatusOr<FprasResult> FprasConjunctive(
+    const constraints::RealFormula& formula, const FprasOptions& options,
+    util::Rng& rng);
+
+}  // namespace mudb::measure
+
+#endif  // MUDB_SRC_MEASURE_FPRAS_H_

@@ -1,0 +1,191 @@
+#include "src/measure/measure.h"
+
+#include "src/measure/nu_exact.h"
+#include "src/measure/oracle.h"
+#include "src/translate/ground.h"
+
+namespace mudb::measure {
+
+const char* MethodToString(Method method) {
+  switch (method) {
+    case Method::kAuto:
+      return "auto";
+    case Method::kExactOrder:
+      return "exact-order";
+    case Method::kExact2D:
+      return "exact-2d";
+    case Method::kAfpras:
+      return "afpras";
+    case Method::kFpras:
+      return "fpras";
+  }
+  return "?";
+}
+
+namespace {
+
+using constraints::RealFormula;
+
+MeasureResult ExactConstantResult(double value, Method method) {
+  MeasureResult r;
+  r.value = value;
+  r.is_exact = true;
+  r.exact_rational = util::Rational(value == 1.0 ? 1 : 0);
+  r.method_used = method;
+  return r;
+}
+
+util::StatusOr<MeasureResult> RunAfpras(const RealFormula& formula,
+                                        const MeasureOptions& options) {
+  AfprasOptions aopts;
+  aopts.epsilon = options.epsilon;
+  aopts.delta = options.delta;
+  aopts.restrict_to_used_vars = options.restrict_to_used_vars;
+  aopts.num_threads = options.num_threads;
+  util::Rng rng(options.seed);
+  MUDB_ASSIGN_OR_RETURN(AfprasResult ar, Afpras(formula, aopts, rng));
+  MeasureResult r;
+  r.value = ar.estimate;
+  r.is_exact = formula.is_constant();
+  r.method_used = Method::kAfpras;
+  r.samples = ar.samples;
+  r.sampled_dimension = ar.sampled_dimension;
+  return r;
+}
+
+util::StatusOr<MeasureResult> RunFpras(const RealFormula& formula,
+                                       const MeasureOptions& options) {
+  FprasOptions fopts;
+  fopts.epsilon = options.epsilon;
+  fopts.max_disjuncts = options.max_dnf_disjuncts;
+  fopts.restrict_to_used_vars = options.restrict_to_used_vars;
+  util::Rng rng(options.seed);
+  MUDB_ASSIGN_OR_RETURN(FprasResult fr, FprasConjunctive(formula, fopts, rng));
+  MeasureResult r;
+  r.value = fr.estimate;
+  r.is_exact = fr.trivial;
+  r.method_used = Method::kFpras;
+  r.sampled_dimension = fr.sampled_dimension;
+  return r;
+}
+
+util::StatusOr<MeasureResult> RunExactOrder(const RealFormula& formula,
+                                            const MeasureOptions& options) {
+  MUDB_ASSIGN_OR_RETURN(
+      util::Rational v,
+      NuExactOrder(formula, options.exact_order_max_vars));
+  MeasureResult r;
+  r.value = v.ToDouble();
+  r.exact_rational = v;
+  r.is_exact = true;
+  r.method_used = Method::kExactOrder;
+  return r;
+}
+
+util::StatusOr<MeasureResult> RunExact2D(const RealFormula& formula) {
+  MUDB_ASSIGN_OR_RETURN(double v, NuExact2D(formula));
+  MeasureResult r;
+  r.value = v;
+  r.is_exact = true;
+  r.method_used = Method::kExact2D;
+  return r;
+}
+
+}  // namespace
+
+util::StatusOr<MeasureResult> ComputeNu(const RealFormula& formula,
+                                        const MeasureOptions& options) {
+  if (formula.kind() == RealFormula::Kind::kTrue) {
+    return ExactConstantResult(1.0, options.method);
+  }
+  if (formula.kind() == RealFormula::Kind::kFalse) {
+    return ExactConstantResult(0.0, options.method);
+  }
+
+  if (options.use_z3_shortcuts && OracleAvailable()) {
+    // Certificates: unsat ⇒ ν = 0; valid ⇒ ν = 1. Solver failures and
+    // timeouts fall through to the numeric engines.
+    util::StatusOr<bool> sat = OracleIsSatisfiable(formula);
+    if (sat.ok() && !*sat) return ExactConstantResult(0.0, options.method);
+    util::StatusOr<bool> valid = OracleIsValid(formula);
+    if (valid.ok() && *valid) return ExactConstantResult(1.0, options.method);
+  }
+
+  switch (options.method) {
+    case Method::kExactOrder:
+      return RunExactOrder(formula, options);
+    case Method::kExact2D:
+      return RunExact2D(formula);
+    case Method::kAfpras:
+      return RunAfpras(formula, options);
+    case Method::kFpras:
+      return RunFpras(formula, options);
+    case Method::kAuto:
+      break;
+  }
+
+  // kAuto: prefer exact engines when they are cheap and applicable.
+  size_t used_vars = formula.UsedVariables().size();
+  if (used_vars <= 2) return RunExact2D(formula);
+  if (IsOrderFormula(formula) &&
+      used_vars <= static_cast<size_t>(options.exact_order_max_vars)) {
+    return RunExactOrder(formula, options);
+  }
+  return RunAfpras(formula, options);
+}
+
+util::StatusOr<MeasureResult> ComputeMeasure(const logic::Query& q,
+                                             const model::Database& db,
+                                             const model::Tuple& candidate,
+                                             const MeasureOptions& options) {
+  MUDB_ASSIGN_OR_RETURN(translate::GroundResult ground,
+                        translate::GroundQuery(q, db, candidate));
+  return ComputeNu(ground.formula, options);
+}
+
+util::StatusOr<MeasureResult> ComputeConditionalMeasure(
+    const logic::Query& q, const model::Database& db,
+    const model::Tuple& candidate, const NullRanges& ranges,
+    const MeasureOptions& options) {
+  MUDB_ASSIGN_OR_RETURN(translate::GroundResult ground,
+                        translate::GroundQuery(q, db, candidate));
+  // Variable z_i denotes null null_order[i]; align the ranges accordingly.
+  VarRanges var_ranges(ground.null_order.size());
+  for (size_t i = 0; i < ground.null_order.size(); ++i) {
+    auto it = ranges.find(ground.null_order[i]);
+    var_ranges[i] = it != ranges.end() ? it->second : VarRange::Free();
+  }
+  AfprasOptions aopts;
+  aopts.epsilon = options.epsilon;
+  aopts.delta = options.delta;
+  aopts.restrict_to_used_vars = options.restrict_to_used_vars;
+  util::Rng rng(options.seed);
+  MUDB_ASSIGN_OR_RETURN(
+      AfprasResult ar,
+      ConditionalAfpras(ground.formula, var_ranges, aopts, rng));
+  MeasureResult result;
+  result.value = ar.estimate;
+  result.is_exact = ground.formula.is_constant();
+  result.method_used = Method::kAfpras;
+  result.samples = ar.samples;
+  result.sampled_dimension = ar.sampled_dimension;
+  return result;
+}
+
+util::StatusOr<bool> IsCertainAnswer(const logic::Query& q,
+                                     const model::Database& db,
+                                     const model::Tuple& candidate) {
+  MUDB_ASSIGN_OR_RETURN(translate::GroundResult ground,
+                        translate::GroundQuery(q, db, candidate));
+  return OracleIsValid(ground.formula);
+}
+
+util::StatusOr<bool> IsPossibleAnswer(const logic::Query& q,
+                                      const model::Database& db,
+                                      const model::Tuple& candidate) {
+  MUDB_ASSIGN_OR_RETURN(translate::GroundResult ground,
+                        translate::GroundQuery(q, db, candidate));
+  return OracleIsSatisfiable(ground.formula);
+}
+
+}  // namespace mudb::measure

@@ -1,0 +1,119 @@
+// Public API: the measure of certainty μ(q, D, (a,s)) of the paper, and the
+// underlying asymptotic volume functional ν(φ).
+//
+// Typical use:
+//
+//   model::Database db = ...;                 // may contain ⊥/⊤ nulls
+//   logic::Query q = ...;                     // FO(+,·,<)
+//   model::Tuple candidate = ...;             // one value per output column
+//   measure::MeasureOptions opts;
+//   auto result = measure::ComputeMeasure(q, db, candidate, opts);
+//   // result->value ∈ [0, 1]; result->is_exact tells whether it is exact.
+//
+// Method selection (kAuto): exact engines when applicable (order formulae
+// with few variables; ≤ 2 numeric nulls in the constraints), otherwise the
+// AFPRAS of Thm. 8.1. The FPRAS of Thm. 7.1 must be requested explicitly
+// (its multiplicative guarantee is stronger but its constants are larger).
+
+#ifndef MUDB_SRC_MEASURE_MEASURE_H_
+#define MUDB_SRC_MEASURE_MEASURE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include <map>
+
+#include "src/constraints/real_formula.h"
+#include "src/logic/formula.h"
+#include "src/measure/afpras.h"
+#include "src/measure/conditional.h"
+#include "src/measure/fpras.h"
+#include "src/model/database.h"
+#include "src/util/rational.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace mudb::measure {
+
+enum class Method {
+  kAuto,        ///< exact when cheap, else AFPRAS
+  kExactOrder,  ///< signed-interleaving enumeration (order formulae only)
+  kExact2D,     ///< arc measure (≤ 2 variables only)
+  kAfpras,      ///< additive approximation, any FO(+,·,<) grounding
+  kFpras,       ///< multiplicative approximation, linear groundings only
+};
+
+const char* MethodToString(Method method);
+
+struct MeasureOptions {
+  Method method = Method::kAuto;
+  /// Error bound: additive for the AFPRAS, relative for the FPRAS.
+  double epsilon = 0.01;
+  /// Failure probability of the randomized engines.
+  double delta = 0.25;
+  /// RNG seed for the randomized engines.
+  uint64_t seed = 0xC0FFEE;
+  /// Query Z3 (when available) for μ=0 / μ=1 certificates before sampling.
+  bool use_z3_shortcuts = false;
+  /// Sample only nulls that occur in the constraints (§9 optimization).
+  bool restrict_to_used_vars = true;
+  /// kAuto: maximum variables for the exact order engine.
+  int exact_order_max_vars = 8;
+  /// Passed to the FPRAS DNF conversion.
+  size_t max_dnf_disjuncts = 4096;
+  /// Worker threads for the AFPRAS sampling loop.
+  int num_threads = 1;
+};
+
+struct MeasureResult {
+  /// The (estimated or exact) value of μ / ν in [0, 1].
+  double value = 0.0;
+  /// Set when the value is exact and rational (order engine).
+  std::optional<util::Rational> exact_rational;
+  /// True when the value is exact (0/1 shortcuts, exact engines).
+  bool is_exact = false;
+  /// The engine that produced the value.
+  Method method_used = Method::kAuto;
+  /// Samples drawn by randomized engines (0 for exact paths).
+  int64_t samples = 0;
+  /// Dimension sampled after variable restriction.
+  int sampled_dimension = 0;
+};
+
+/// Computes ν(φ) for a grounded formula.
+util::StatusOr<MeasureResult> ComputeNu(
+    const constraints::RealFormula& formula, const MeasureOptions& options);
+
+/// Computes μ(q, D, candidate): grounds via Prop. 5.3 and evaluates ν.
+util::StatusOr<MeasureResult> ComputeMeasure(const logic::Query& q,
+                                             const model::Database& db,
+                                             const model::Tuple& candidate,
+                                             const MeasureOptions& options);
+
+/// Interval constraints on numeric nulls, keyed by null id (§10 extension:
+/// "price is positive", "discount lies in [0, 1]").
+using NullRanges = std::map<model::NullId, VarRange>;
+
+/// Conditional measure μ_C(q, D, candidate): grounds the query, maps the
+/// null-id ranges onto the grounded variables, and runs the conditional
+/// AFPRAS (always randomized; exact engines do not apply).
+util::StatusOr<MeasureResult> ComputeConditionalMeasure(
+    const logic::Query& q, const model::Database& db,
+    const model::Tuple& candidate, const NullRanges& ranges,
+    const MeasureOptions& options);
+
+/// True certain answer (μ = 1 via validity of φ over R^k). Requires Z3.
+util::StatusOr<bool> IsCertainAnswer(const logic::Query& q,
+                                     const model::Database& db,
+                                     const model::Tuple& candidate);
+
+/// Possibility (φ satisfiable, i.e. some valuation makes the tuple an
+/// answer). Requires Z3.
+util::StatusOr<bool> IsPossibleAnswer(const logic::Query& q,
+                                      const model::Database& db,
+                                      const model::Tuple& candidate);
+
+}  // namespace mudb::measure
+
+#endif  // MUDB_SRC_MEASURE_MEASURE_H_

@@ -1,0 +1,44 @@
+// Exact evaluation of ν(φ) for special classes of formulae.
+//
+//   * NuExactOrder — order-constraint formulae (the image of FO(<) queries):
+//     every atom compares a variable with a variable or a constant. ν is then
+//     rational (Prop. 6.2); we enumerate "signed interleaving" patterns — for
+//     a uniform direction, the probability that a given sign vector and a
+//     given relative order of the coordinates occurs is
+//     2^{-k} / (j! (k-j)!) with j the number of negative coordinates —
+//     yielding the exact rational value in exponential time, which is
+//     consistent with the FP^{#P}-hardness of the problem.
+//
+//   * NuExact2D — formulae over at most 2 variables (any degree). The set of
+//     asymptotically-true directions is a finite union of arcs whose
+//     endpoints are zeros of the homogeneous components of the atoms; we
+//     isolate them with Sturm sequences and measure the union of arcs. This
+//     covers the paper's introduction example ((π/2 − arctan(10/7))/2π) and
+//     the irrationality example of Prop. 6.1 (arctan(α)/2π + 1/2).
+
+#ifndef MUDB_SRC_MEASURE_NU_EXACT_H_
+#define MUDB_SRC_MEASURE_NU_EXACT_H_
+
+#include "src/constraints/real_formula.h"
+#include "src/util/rational.h"
+#include "src/util/status.h"
+
+namespace mudb::measure {
+
+/// True if every atom of φ is an order constraint: a linear polynomial whose
+/// non-constant part is c·z_i or c·(z_i − z_j).
+bool IsOrderFormula(const constraints::RealFormula& formula);
+
+/// Exact rational ν(φ) for order formulae. InvalidArgument if φ is not an
+/// order formula; ResourceExhausted if it uses more than `max_vars` variables
+/// (the enumeration is (k+1)! patterns).
+util::StatusOr<util::Rational> NuExactOrder(
+    const constraints::RealFormula& formula, int max_vars = 9);
+
+/// Exact (up to root-isolation precision ~1e-12) ν(φ) for formulae over at
+/// most 2 variables. InvalidArgument if more variables occur.
+util::StatusOr<double> NuExact2D(const constraints::RealFormula& formula);
+
+}  // namespace mudb::measure
+
+#endif  // MUDB_SRC_MEASURE_NU_EXACT_H_

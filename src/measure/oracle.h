@@ -1,0 +1,36 @@
+// Optional Z3-backed exactness oracle for real-closed-field formulae.
+//
+// The measure engines use two decision problems over ⟨R, +, ·, <⟩:
+//   * IsSatisfiable(φ): does φ hold for some z ∈ R^n?  (¬sat ⇒ μ = 0)
+//   * IsValid(φ): does φ hold for every z ∈ R^n?       (valid ⇒ μ = 1)
+// Both are decidable (Tarski); we delegate to Z3's nonlinear real arithmetic
+// (QF_NRA). When mudb is built without Z3, the functions return
+// Unimplemented and callers fall back to sampling.
+//
+// Note these are *shortcut certificates*: μ = 0 or μ = 1 can also hold for
+// formulae that are satisfiable/invalid on measure-zero / asymptotically
+// negligible sets, which the oracle does not detect.
+
+#ifndef MUDB_SRC_MEASURE_ORACLE_H_
+#define MUDB_SRC_MEASURE_ORACLE_H_
+
+#include "src/constraints/real_formula.h"
+#include "src/util/status.h"
+
+namespace mudb::measure {
+
+/// True if the library was built with Z3 support.
+bool OracleAvailable();
+
+/// Whether φ is satisfiable over R^n. Unimplemented without Z3; Internal if
+/// the solver answers "unknown" within the timeout.
+util::StatusOr<bool> OracleIsSatisfiable(
+    const constraints::RealFormula& formula, unsigned timeout_ms = 2000);
+
+/// Whether φ holds on all of R^n (i.e. ¬φ is unsatisfiable).
+util::StatusOr<bool> OracleIsValid(const constraints::RealFormula& formula,
+                                   unsigned timeout_ms = 2000);
+
+}  // namespace mudb::measure
+
+#endif  // MUDB_SRC_MEASURE_ORACLE_H_

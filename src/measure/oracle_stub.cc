@@ -1,0 +1,27 @@
+// Fallback exactness oracle used when mudb is built without Z3.
+
+#if !defined(MUDB_HAVE_Z3)
+
+#include "src/measure/oracle.h"
+
+namespace mudb::measure {
+
+bool OracleAvailable() { return false; }
+
+util::StatusOr<bool> OracleIsSatisfiable(
+    const constraints::RealFormula& formula, unsigned timeout_ms) {
+  (void)formula;
+  (void)timeout_ms;
+  return util::Status::Unimplemented("mudb was built without Z3");
+}
+
+util::StatusOr<bool> OracleIsValid(const constraints::RealFormula& formula,
+                                   unsigned timeout_ms) {
+  (void)formula;
+  (void)timeout_ms;
+  return util::Status::Unimplemented("mudb was built without Z3");
+}
+
+}  // namespace mudb::measure
+
+#endif  // !MUDB_HAVE_Z3

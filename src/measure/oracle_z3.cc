@@ -1,0 +1,134 @@
+// Z3 implementation of the exactness oracle (compiled only when MUDB_HAVE_Z3).
+
+#include "src/measure/oracle.h"
+
+#include <z3++.h>
+
+#include <vector>
+
+namespace mudb::measure {
+
+namespace {
+
+using constraints::CmpOp;
+using constraints::RealFormula;
+using poly::Polynomial;
+
+z3::expr PolyToZ3(z3::context& ctx, const std::vector<z3::expr>& vars,
+                  const Polynomial& p) {
+  z3::expr sum = ctx.real_val(0);
+  bool first = true;
+  for (const auto& [mono, coeff] : p.terms()) {
+    // Represent the double coefficient exactly as a dyadic rational.
+    z3::expr term = ctx.real_val(std::to_string(coeff).c_str());
+    for (size_t i = 0; i < mono.size(); ++i) {
+      for (uint32_t e = 0; e < mono[i]; ++e) term = term * vars[i];
+    }
+    if (first) {
+      sum = term;
+      first = false;
+    } else {
+      sum = sum + term;
+    }
+  }
+  return sum;
+}
+
+z3::expr AtomToZ3(z3::context& ctx, const std::vector<z3::expr>& vars,
+                  const constraints::RealAtom& atom) {
+  z3::expr lhs = PolyToZ3(ctx, vars, atom.poly);
+  z3::expr zero = ctx.real_val(0);
+  switch (atom.op) {
+    case CmpOp::kLt:
+      return lhs < zero;
+    case CmpOp::kLe:
+      return lhs <= zero;
+    case CmpOp::kEq:
+      return lhs == zero;
+    case CmpOp::kNeq:
+      return lhs != zero;
+    case CmpOp::kGe:
+      return lhs >= zero;
+    case CmpOp::kGt:
+      return lhs > zero;
+  }
+  return ctx.bool_val(false);
+}
+
+z3::expr FormulaToZ3(z3::context& ctx, const std::vector<z3::expr>& vars,
+                     const RealFormula& f) {
+  switch (f.kind()) {
+    case RealFormula::Kind::kTrue:
+      return ctx.bool_val(true);
+    case RealFormula::Kind::kFalse:
+      return ctx.bool_val(false);
+    case RealFormula::Kind::kAtom:
+      return AtomToZ3(ctx, vars, f.atom());
+    case RealFormula::Kind::kAnd: {
+      z3::expr_vector parts(ctx);
+      for (const RealFormula& c : f.children()) {
+        parts.push_back(FormulaToZ3(ctx, vars, c));
+      }
+      return z3::mk_and(parts);
+    }
+    case RealFormula::Kind::kOr: {
+      z3::expr_vector parts(ctx);
+      for (const RealFormula& c : f.children()) {
+        parts.push_back(FormulaToZ3(ctx, vars, c));
+      }
+      return z3::mk_or(parts);
+    }
+    case RealFormula::Kind::kNot:
+      return !FormulaToZ3(ctx, vars, f.children()[0]);
+  }
+  return ctx.bool_val(false);
+}
+
+util::StatusOr<bool> CheckSat(const RealFormula& formula, bool negate,
+                              unsigned timeout_ms) {
+  try {
+    z3::context ctx;
+    std::vector<z3::expr> vars;
+    int n = formula.NumVariables();
+    vars.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      vars.push_back(ctx.real_const(("z" + std::to_string(i)).c_str()));
+    }
+    z3::expr e = FormulaToZ3(ctx, vars, formula);
+    if (negate) e = !e;
+    z3::solver solver(ctx);
+    z3::params params(ctx);
+    params.set("timeout", timeout_ms);
+    solver.set(params);
+    solver.add(e);
+    switch (solver.check()) {
+      case z3::sat:
+        return true;
+      case z3::unsat:
+        return false;
+      case z3::unknown:
+        return util::Status::Internal("Z3 returned unknown");
+    }
+    return util::Status::Internal("unreachable Z3 result");
+  } catch (const z3::exception& ex) {
+    return util::Status::Internal(std::string("Z3 error: ") + ex.msg());
+  }
+}
+
+}  // namespace
+
+bool OracleAvailable() { return true; }
+
+util::StatusOr<bool> OracleIsSatisfiable(const RealFormula& formula,
+                                         unsigned timeout_ms) {
+  return CheckSat(formula, /*negate=*/false, timeout_ms);
+}
+
+util::StatusOr<bool> OracleIsValid(const RealFormula& formula,
+                                   unsigned timeout_ms) {
+  MUDB_ASSIGN_OR_RETURN(bool neg_sat,
+                        CheckSat(formula, /*negate=*/true, timeout_ms));
+  return !neg_sat;
+}
+
+}  // namespace mudb::measure

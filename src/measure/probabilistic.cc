@@ -1,0 +1,103 @@
+#include "src/measure/probabilistic.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace mudb::measure {
+
+Distribution Distribution::Uniform(double lo, double hi) {
+  MUDB_CHECK(lo <= hi);
+  return Distribution(Kind::kUniform, lo, hi);
+}
+
+Distribution Distribution::Gaussian(double mean, double sd) {
+  MUDB_CHECK(sd > 0);
+  return Distribution(Kind::kGaussian, mean, sd);
+}
+
+Distribution Distribution::Exponential(double rate) {
+  MUDB_CHECK(rate > 0);
+  return Distribution(Kind::kExponential, rate, 0);
+}
+
+Distribution Distribution::Point(double value) {
+  return Distribution(Kind::kPoint, value, 0);
+}
+
+double Distribution::Sample(util::Rng& rng) const {
+  switch (kind_) {
+    case Kind::kUniform:
+      return rng.Uniform(a_, b_);
+    case Kind::kGaussian:
+      return a_ + b_ * rng.Gaussian();
+    case Kind::kExponential: {
+      // Inverse CDF; guard against log(0).
+      double u = rng.Uniform01();
+      if (u <= 0) u = 1e-300;
+      return -std::log(u) / a_;
+    }
+    case Kind::kPoint:
+      return a_;
+  }
+  return 0.0;
+}
+
+std::string Distribution::ToString() const {
+  std::ostringstream out;
+  switch (kind_) {
+    case Kind::kUniform:
+      out << "Uniform[" << a_ << ", " << b_ << "]";
+      break;
+    case Kind::kGaussian:
+      out << "N(" << a_ << ", " << b_ << "\xC2\xB2)";
+      break;
+    case Kind::kExponential:
+      out << "Exp(" << a_ << ")";
+      break;
+    case Kind::kPoint:
+      out << "Point(" << a_ << ")";
+      break;
+  }
+  return out.str();
+}
+
+util::StatusOr<AfprasResult> ProbabilisticMeasure(
+    const constraints::RealFormula& formula,
+    const std::vector<Distribution>& dists, const AfprasOptions& options,
+    util::Rng& rng) {
+  if (options.epsilon <= 0 || options.epsilon > 1) {
+    return util::Status::InvalidArgument("epsilon must be in (0, 1]");
+  }
+  AfprasResult result;
+  if (formula.is_constant()) {
+    result.estimate =
+        formula.kind() == constraints::RealFormula::Kind::kTrue ? 1.0 : 0.0;
+    return result;
+  }
+  std::set<int> used = formula.UsedVariables();
+  for (int v : used) {
+    if (static_cast<size_t>(v) >= dists.size()) {
+      return util::Status::InvalidArgument(
+          "no distribution for variable z" + std::to_string(v));
+    }
+  }
+  const int dim = static_cast<int>(dists.size());
+  result.sampled_dimension = static_cast<int>(used.size());
+
+  int64_t m = options.num_samples > 0
+                  ? options.num_samples
+                  : AfprasSampleCount(options.epsilon, options.delta);
+  std::vector<double> z(dim, 0.0);
+  int64_t hits = 0;
+  for (int64_t s = 0; s < m; ++s) {
+    // Only the used coordinates influence φ; sampling just those implements
+    // the §9 optimization for the probabilistic semantics.
+    for (int v : used) z[v] = dists[v].Sample(rng);
+    if (formula.EvaluateAt(z)) ++hits;
+  }
+  result.samples = m;
+  result.estimate = static_cast<double>(hits) / static_cast<double>(m);
+  return result;
+}
+
+}  // namespace mudb::measure

@@ -1,0 +1,56 @@
+#include "src/model/schema.h"
+
+#include <sstream>
+
+namespace mudb::model {
+
+std::optional<size_t> RelationSchema::ColumnIndex(
+    const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+size_t RelationSchema::num_base_columns() const {
+  size_t n = 0;
+  for (const ColumnDef& c : columns_) {
+    if (c.sort == Sort::kBase) ++n;
+  }
+  return n;
+}
+
+size_t RelationSchema::num_numeric_columns() const {
+  return columns_.size() - num_base_columns();
+}
+
+util::Status RelationSchema::ValidateTuple(
+    const std::vector<Value>& tuple) const {
+  if (tuple.size() != columns_.size()) {
+    return util::Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) + " does not match " +
+        name_ + " arity " + std::to_string(columns_.size()));
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (tuple[i].sort() != columns_[i].sort) {
+      return util::Status::InvalidArgument(
+          "value " + tuple[i].ToString() + " has sort " +
+          SortToString(tuple[i].sort()) + " but column " + columns_[i].name +
+          " of " + name_ + " has sort " + SortToString(columns_[i].sort));
+    }
+  }
+  return util::Status::OK();
+}
+
+std::string RelationSchema::ToString() const {
+  std::ostringstream out;
+  out << name_ << "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << columns_[i].name << ":" << SortToString(columns_[i].sort);
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace mudb::model

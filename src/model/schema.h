@@ -1,0 +1,57 @@
+// Relation schemas: typed column lists (Section 3, "R(base^k num^m)").
+//
+// Unlike the paper's notational convention, columns of different sorts may be
+// interleaved freely, as in real DDL.
+
+#ifndef MUDB_SRC_MODEL_SCHEMA_H_
+#define MUDB_SRC_MODEL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/model/value.h"
+#include "src/util/status.h"
+
+namespace mudb::model {
+
+/// A named, typed column.
+struct ColumnDef {
+  std::string name;
+  Sort sort;
+};
+
+/// The schema of one relation: its name and ordered column list.
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+  RelationSchema(std::string name, std::vector<ColumnDef> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t arity() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+
+  /// Index of a column by name, or nullopt.
+  std::optional<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Number of base-sorted columns.
+  size_t num_base_columns() const;
+  /// Number of numeric columns.
+  size_t num_numeric_columns() const;
+
+  /// Checks that a tuple of values matches this schema's sorts and arity.
+  util::Status ValidateTuple(const std::vector<Value>& tuple) const;
+
+  /// "R(id:base, price:num)".
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace mudb::model
+
+#endif  // MUDB_SRC_MODEL_SCHEMA_H_

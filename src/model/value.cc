@@ -1,0 +1,95 @@
+#include "src/model/value.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/util/status.h"
+
+namespace mudb::model {
+
+const char* SortToString(Sort sort) {
+  return sort == Sort::kBase ? "base" : "num";
+}
+
+const std::string& Value::base_const() const {
+  MUDB_CHECK(kind_ == Kind::kBaseConst);
+  return str_;
+}
+
+double Value::num_const() const {
+  MUDB_CHECK(kind_ == Kind::kNumConst);
+  return num_;
+}
+
+NullId Value::null_id() const {
+  MUDB_CHECK(is_null());
+  return null_id_;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kBaseConst:
+      return str_ == other.str_;
+    case Kind::kNumConst:
+      return num_ == other.num_;
+    case Kind::kBaseNull:
+    case Kind::kNumNull:
+      return null_id_ == other.null_id_;
+  }
+  return false;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (kind_ != other.kind_) return kind_ < other.kind_;
+  switch (kind_) {
+    case Kind::kBaseConst:
+      return str_ < other.str_;
+    case Kind::kNumConst:
+      return num_ < other.num_;
+    case Kind::kBaseNull:
+    case Kind::kNumNull:
+      return null_id_ < other.null_id_;
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kBaseConst:
+      return str_;
+    case Kind::kNumConst: {
+      std::ostringstream out;
+      out << num_;
+      return out.str();
+    }
+    case Kind::kBaseNull:
+      return "\xE2\x8A\xA5" + std::to_string(null_id_);  // ⊥i
+    case Kind::kNumNull:
+      return "\xE2\x8A\xA4" + std::to_string(null_id_);  // ⊤i
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  size_t h = static_cast<size_t>(kind_) * 0x9E3779B97F4A7C15ull;
+  switch (kind_) {
+    case Kind::kBaseConst:
+      h ^= std::hash<std::string>()(str_);
+      break;
+    case Kind::kNumConst:
+      h ^= std::hash<double>()(num_);
+      break;
+    case Kind::kBaseNull:
+    case Kind::kNumNull:
+      h ^= std::hash<NullId>()(null_id_) * 0xFF51AFD7ED558CCDull;
+      break;
+  }
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace mudb::model

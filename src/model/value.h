@@ -1,0 +1,117 @@
+// Values of the two-sorted incomplete data model (Section 3 of the paper).
+//
+// A database entry is one of:
+//   - a base-type constant (an element of C_base; represented as a string),
+//   - a numeric constant (an element of C_num ⊆ R; represented as a double),
+//   - a marked base-type null ⊥_i (i is the mark),
+//   - a marked numeric null ⊤_i.
+
+#ifndef MUDB_SRC_MODEL_VALUE_H_
+#define MUDB_SRC_MODEL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace mudb::model {
+
+/// The two column sorts of the data model.
+enum class Sort {
+  kBase,  ///< uninterpreted base type (equality only)
+  kNum,   ///< numeric type (interpreted over R with +, ·, <)
+};
+
+const char* SortToString(Sort sort);
+
+/// Identifier of a marked null. Nulls with equal ids denote the same unknown
+/// value; base and numeric nulls live in disjoint id spaces.
+using NullId = uint32_t;
+
+/// A single database entry. Value is a regular (copyable, equality-comparable,
+/// hashable) type; equality is syntactic (a null equals only the same null).
+class Value {
+ public:
+  enum class Kind {
+    kBaseConst,
+    kNumConst,
+    kBaseNull,
+    kNumNull,
+  };
+
+  /// Default: the numeric constant 0 (needed by container resizing; prefer
+  /// the named factories below).
+  Value() : kind_(Kind::kNumConst) {}
+
+  /// Factory functions, so call sites say what they create.
+  static Value BaseConst(std::string s) {
+    Value v;
+    v.kind_ = Kind::kBaseConst;
+    v.str_ = std::move(s);
+    return v;
+  }
+  static Value NumConst(double d) {
+    Value v;
+    v.kind_ = Kind::kNumConst;
+    v.num_ = d;
+    return v;
+  }
+  static Value BaseNull(NullId id) {
+    Value v;
+    v.kind_ = Kind::kBaseNull;
+    v.null_id_ = id;
+    return v;
+  }
+  static Value NumNull(NullId id) {
+    Value v;
+    v.kind_ = Kind::kNumNull;
+    v.null_id_ = id;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  Sort sort() const {
+    return (kind_ == Kind::kBaseConst || kind_ == Kind::kBaseNull)
+               ? Sort::kBase
+               : Sort::kNum;
+  }
+  bool is_null() const {
+    return kind_ == Kind::kBaseNull || kind_ == Kind::kNumNull;
+  }
+  bool is_const() const { return !is_null(); }
+
+  /// The base constant; requires kind() == kBaseConst.
+  const std::string& base_const() const;
+  /// The numeric constant; requires kind() == kNumConst.
+  double num_const() const;
+  /// The null mark; requires is_null().
+  NullId null_id() const;
+
+  /// Syntactic equality: constants compare by value, nulls by (sort, id).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  /// Arbitrary total order, usable as a map key.
+  bool operator<(const Value& other) const;
+
+  /// Human-readable form: "abc", 3.5, ⊥2, ⊤7.
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+ private:
+  Kind kind_;
+  std::string str_;
+  double num_ = 0.0;
+  NullId null_id_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace mudb::model
+
+#endif  // MUDB_SRC_MODEL_VALUE_H_

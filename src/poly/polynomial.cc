@@ -1,0 +1,291 @@
+#include "src/poly/polynomial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "src/util/status.h"
+
+namespace mudb::poly {
+
+void NormalizeMonomial(Monomial* m) {
+  while (!m->empty() && m->back() == 0) m->pop_back();
+}
+
+uint32_t MonomialDegree(const Monomial& m) {
+  uint32_t d = 0;
+  for (uint32_t e : m) d += e;
+  return d;
+}
+
+Polynomial Polynomial::Constant(double c) {
+  Polynomial p;
+  p.AddTerm({}, c);
+  return p;
+}
+
+Polynomial Polynomial::Variable(int index) {
+  MUDB_CHECK(index >= 0);
+  Monomial m(index + 1, 0);
+  m[index] = 1;
+  Polynomial p;
+  p.AddTerm(std::move(m), 1.0);
+  return p;
+}
+
+Polynomial Polynomial::FromMonomial(Monomial m, double coeff) {
+  Polynomial p;
+  p.AddTerm(std::move(m), coeff);
+  return p;
+}
+
+void Polynomial::AddTerm(Monomial m, double coeff) {
+  if (coeff == 0.0) return;
+  NormalizeMonomial(&m);
+  auto [it, inserted] = terms_.emplace(std::move(m), coeff);
+  if (!inserted) {
+    it->second += coeff;
+    if (it->second == 0.0) terms_.erase(it);
+  }
+}
+
+bool Polynomial::IsConstant() const {
+  return terms_.empty() || (terms_.size() == 1 && terms_.begin()->first.empty());
+}
+
+double Polynomial::ConstantTerm() const {
+  auto it = terms_.find(Monomial{});
+  return it == terms_.end() ? 0.0 : it->second;
+}
+
+int Polynomial::Degree() const {
+  int d = -1;
+  for (const auto& [m, c] : terms_) {
+    d = std::max(d, static_cast<int>(MonomialDegree(m)));
+  }
+  return d;
+}
+
+int Polynomial::NumVariables() const {
+  int n = 0;
+  for (const auto& [m, c] : terms_) {
+    n = std::max(n, static_cast<int>(m.size()));
+  }
+  return n;
+}
+
+bool Polynomial::IsLinear() const {
+  for (const auto& [m, c] : terms_) {
+    if (MonomialDegree(m) > 1) return false;
+  }
+  return true;
+}
+
+double Polynomial::Coefficient(const Monomial& m) const {
+  Monomial key = m;
+  NormalizeMonomial(&key);
+  auto it = terms_.find(key);
+  return it == terms_.end() ? 0.0 : it->second;
+}
+
+double Polynomial::LinearCoefficient(int index) const {
+  Monomial m(index + 1, 0);
+  m[index] = 1;
+  return Coefficient(m);
+}
+
+Polynomial Polynomial::operator+(const Polynomial& other) const {
+  Polynomial out = *this;
+  for (const auto& [m, c] : other.terms_) out.AddTerm(m, c);
+  return out;
+}
+
+Polynomial Polynomial::operator-(const Polynomial& other) const {
+  Polynomial out = *this;
+  for (const auto& [m, c] : other.terms_) out.AddTerm(m, -c);
+  return out;
+}
+
+Polynomial Polynomial::operator-() const {
+  Polynomial out;
+  for (const auto& [m, c] : terms_) out.AddTerm(m, -c);
+  return out;
+}
+
+Polynomial Polynomial::operator*(const Polynomial& other) const {
+  Polynomial out;
+  for (const auto& [m1, c1] : terms_) {
+    for (const auto& [m2, c2] : other.terms_) {
+      Monomial m(std::max(m1.size(), m2.size()), 0);
+      for (size_t i = 0; i < m1.size(); ++i) m[i] += m1[i];
+      for (size_t i = 0; i < m2.size(); ++i) m[i] += m2[i];
+      out.AddTerm(std::move(m), c1 * c2);
+    }
+  }
+  return out;
+}
+
+Polynomial Polynomial::Scale(double c) const {
+  Polynomial out;
+  for (const auto& [m, coeff] : terms_) out.AddTerm(m, coeff * c);
+  return out;
+}
+
+double Polynomial::Evaluate(const std::vector<double>& point) const {
+  double sum = 0.0;
+  for (const auto& [m, c] : terms_) {
+    double term = c;
+    for (size_t i = 0; i < m.size(); ++i) {
+      if (m[i] == 0) continue;
+      double x = i < point.size() ? point[i] : 0.0;
+      for (uint32_t e = 0; e < m[i]; ++e) term *= x;
+    }
+    sum += term;
+  }
+  return sum;
+}
+
+Polynomial Polynomial::Substitute(int index, const Polynomial& value) const {
+  Polynomial out;
+  for (const auto& [m, c] : terms_) {
+    Polynomial term = Polynomial::Constant(c);
+    for (size_t i = 0; i < m.size(); ++i) {
+      if (m[i] == 0) continue;
+      Polynomial factor = (static_cast<int>(i) == index)
+                              ? value
+                              : Polynomial::Variable(static_cast<int>(i));
+      for (uint32_t e = 0; e < m[i]; ++e) term = term * factor;
+    }
+    out = out + term;
+  }
+  return out;
+}
+
+std::vector<double> Polynomial::RestrictToDirection(
+    const std::vector<double>& a) const {
+  int deg = Degree();
+  if (deg < 0) return {};
+  std::vector<double> coeffs(deg + 1, 0.0);
+  for (const auto& [m, c] : terms_) {
+    double prod = c;
+    for (size_t i = 0; i < m.size(); ++i) {
+      if (m[i] == 0) continue;
+      double ai = i < a.size() ? a[i] : 0.0;
+      for (uint32_t e = 0; e < m[i]; ++e) prod *= ai;
+    }
+    coeffs[MonomialDegree(m)] += prod;
+  }
+  return coeffs;
+}
+
+void Polynomial::CollectVariableIndices(std::set<int>* out) const {
+  for (const auto& [m, c] : terms_) {
+    for (size_t i = 0; i < m.size(); ++i) {
+      if (m[i] > 0) out->insert(static_cast<int>(i));
+    }
+  }
+}
+
+Polynomial Polynomial::RemapVariables(const std::vector<int>& new_index) const {
+  Polynomial out;
+  for (const auto& [m, c] : terms_) {
+    Monomial mapped;
+    for (size_t i = 0; i < m.size(); ++i) {
+      if (m[i] == 0) continue;
+      MUDB_CHECK(i < new_index.size() && new_index[i] >= 0);
+      size_t j = static_cast<size_t>(new_index[i]);
+      if (mapped.size() <= j) mapped.resize(j + 1, 0);
+      mapped[j] += m[i];
+    }
+    out.AddTerm(std::move(mapped), c);
+  }
+  return out;
+}
+
+std::vector<double> Polynomial::RestrictToDirectionPartial(
+    const std::vector<double>& a, const std::vector<bool>& scaled) const {
+  int max_deg = 0;
+  for (const auto& [m, c] : terms_) {
+    int d = 0;
+    for (size_t i = 0; i < m.size(); ++i) {
+      if (i < scaled.size() && scaled[i]) d += static_cast<int>(m[i]);
+    }
+    max_deg = std::max(max_deg, d);
+  }
+  if (terms_.empty()) return {};
+  std::vector<double> coeffs(max_deg + 1, 0.0);
+  for (const auto& [m, c] : terms_) {
+    double prod = c;
+    int d = 0;
+    for (size_t i = 0; i < m.size(); ++i) {
+      if (m[i] == 0) continue;
+      double ai = i < a.size() ? a[i] : 0.0;
+      for (uint32_t e = 0; e < m[i]; ++e) prod *= ai;
+      if (i < scaled.size() && scaled[i]) d += static_cast<int>(m[i]);
+    }
+    coeffs[d] += prod;
+  }
+  return coeffs;
+}
+
+Polynomial Polynomial::LeadingForm() const {
+  int deg = Degree();
+  Polynomial out;
+  for (const auto& [m, c] : terms_) {
+    if (static_cast<int>(MonomialDegree(m)) == deg) out.AddTerm(m, c);
+  }
+  return out;
+}
+
+Polynomial Polynomial::DropConstant() const {
+  Polynomial out = *this;
+  out.terms_.erase(Monomial{});
+  return out;
+}
+
+std::string Polynomial::ToString() const {
+  return ToString([](int i) { return "z" + std::to_string(i); });
+}
+
+std::string Polynomial::ToString(
+    const std::function<std::string(int)>& var_name) const {
+  if (terms_.empty()) return "0";
+  std::ostringstream out;
+  bool first = true;
+  // Iterate in reverse so higher-degree monomials tend to print first.
+  for (auto it = terms_.rbegin(); it != terms_.rend(); ++it) {
+    const auto& [m, c] = *it;
+    double coeff = c;
+    if (first) {
+      if (coeff < 0) {
+        out << "-";
+        coeff = -coeff;
+      }
+      first = false;
+    } else {
+      out << (coeff < 0 ? " - " : " + ");
+      coeff = std::fabs(coeff);
+    }
+    bool printed_coeff = false;
+    if (m.empty() || coeff != 1.0) {
+      out << coeff;
+      printed_coeff = true;
+    }
+    bool first_var = true;
+    for (size_t i = 0; i < m.size(); ++i) {
+      if (m[i] == 0) continue;
+      if (!first_var || printed_coeff) out << "*";
+      out << var_name(static_cast<int>(i));
+      if (m[i] > 1) out << "^" << m[i];
+      first_var = false;
+    }
+  }
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Polynomial& p) {
+  return os << p.ToString();
+}
+
+}  // namespace mudb::poly

@@ -1,0 +1,125 @@
+// Sparse multivariate polynomials over the reals (double coefficients).
+//
+// Polynomials are the terms of the real-closed-field formulae produced by the
+// grounding of Prop. 5.3: every FO(+,·,<) atom becomes `p(z) ◦ 0` for a
+// polynomial p over the variables z_1..z_k (one per numeric null).
+//
+// The key operation for the AFPRAS (Lemma 8.4) is RestrictToDirection: the
+// substitution z := k·a turns p into a univariate polynomial in k whose
+// degree-d coefficient is Σ_{monomials of total degree d} c · Π a_i^{e_i}.
+
+#ifndef MUDB_SRC_POLY_POLYNOMIAL_H_
+#define MUDB_SRC_POLY_POLYNOMIAL_H_
+
+#include <functional>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mudb::poly {
+
+/// Exponent vector of a monomial; index = variable, entry = exponent.
+/// Normalized form has no trailing zeros (the constant monomial is {}).
+using Monomial = std::vector<uint32_t>;
+
+/// Removes trailing zero exponents in place.
+void NormalizeMonomial(Monomial* m);
+
+/// Total degree (sum of exponents).
+uint32_t MonomialDegree(const Monomial& m);
+
+/// A sparse multivariate polynomial. Immutable value type; all operations
+/// return new polynomials. Coefficients with |c| == 0 are dropped.
+class Polynomial {
+ public:
+  /// The zero polynomial.
+  Polynomial() = default;
+
+  /// The constant polynomial c.
+  static Polynomial Constant(double c);
+  /// The polynomial z_index.
+  static Polynomial Variable(int index);
+  /// c · z_0^{e_0} · ... (exponent vector).
+  static Polynomial FromMonomial(Monomial m, double coeff);
+
+  bool IsZero() const { return terms_.empty(); }
+  /// True if the polynomial is a constant (possibly zero).
+  bool IsConstant() const;
+  /// The constant term.
+  double ConstantTerm() const;
+  /// Total degree; the zero polynomial has degree -1 by convention.
+  int Degree() const;
+  /// 1 + the largest variable index used, i.e. the dimension of the ambient
+  /// space; 0 for constants.
+  int NumVariables() const;
+  /// True if every monomial has total degree <= 1 (affine).
+  bool IsLinear() const;
+
+  /// Coefficient of a monomial (0 if absent).
+  double Coefficient(const Monomial& m) const;
+  /// Coefficient of z_index in a linear polynomial (degree-1 monomial).
+  double LinearCoefficient(int index) const;
+
+  const std::map<Monomial, double>& terms() const { return terms_; }
+
+  Polynomial operator+(const Polynomial& other) const;
+  Polynomial operator-(const Polynomial& other) const;
+  Polynomial operator-() const;
+  Polynomial operator*(const Polynomial& other) const;
+  Polynomial Scale(double c) const;
+
+  bool operator==(const Polynomial& other) const {
+    return terms_ == other.terms_;
+  }
+  bool operator!=(const Polynomial& other) const { return !(*this == other); }
+
+  /// Evaluates at a point (missing coordinates are 0).
+  double Evaluate(const std::vector<double>& point) const;
+
+  /// Substitutes polynomial `value` for variable `index`.
+  Polynomial Substitute(int index, const Polynomial& value) const;
+
+  /// Coefficients of p(k·a) as a univariate polynomial in k: entry d is the
+  /// coefficient of k^d. Size is Degree()+1 (empty for the zero polynomial).
+  std::vector<double> RestrictToDirection(const std::vector<double>& a) const;
+
+  /// Mixed restriction (conditional-measure support, §10): variables with
+  /// scaled[i] == true are substituted by k·a_i, the rest by the fixed value
+  /// a_i. Entry d of the result is the coefficient of k^d, so the degree now
+  /// counts only scaled variables. With all variables scaled this equals
+  /// RestrictToDirection; with none it is the point evaluation (degree 0).
+  std::vector<double> RestrictToDirectionPartial(
+      const std::vector<double>& a, const std::vector<bool>& scaled) const;
+
+  /// Adds the indices of variables actually occurring to `out`.
+  void CollectVariableIndices(std::set<int>* out) const;
+
+  /// Renames variables: variable i becomes new_index[i]. Every occurring
+  /// variable must have a mapping (new_index[i] >= 0).
+  Polynomial RemapVariables(const std::vector<int>& new_index) const;
+
+  /// The homogeneous part of highest total degree (the "leading form").
+  Polynomial LeadingForm() const;
+  /// Drops the constant term: the homogenization used by Thm. 7.1 for linear
+  /// atoms (c·z < c' becomes c·z < 0).
+  Polynomial DropConstant() const;
+
+  /// Human-readable form, e.g. "2*z0^2*z1 - z1 + 3".
+  std::string ToString() const;
+  /// As ToString, with variable names supplied by `var_name` (used to print
+  /// constraints in terms of the original nulls, e.g. ⊤7 instead of z0).
+  std::string ToString(const std::function<std::string(int)>& var_name) const;
+
+ private:
+  void AddTerm(Monomial m, double coeff);
+
+  std::map<Monomial, double> terms_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Polynomial& p);
+
+}  // namespace mudb::poly
+
+#endif  // MUDB_SRC_POLY_POLYNOMIAL_H_

@@ -1,0 +1,146 @@
+#include "src/poly/univariate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/status.h"
+
+namespace mudb::poly {
+
+UniPoly TrimLeading(const UniPoly& p, double tol) {
+  UniPoly out = p;
+  while (!out.empty() && std::fabs(out.back()) <= tol) out.pop_back();
+  return out;
+}
+
+double EvaluateUni(const UniPoly& p, double x) {
+  double acc = 0.0;
+  for (auto it = p.rbegin(); it != p.rend(); ++it) acc = acc * x + *it;
+  return acc;
+}
+
+UniPoly DerivativeUni(const UniPoly& p) {
+  if (p.size() <= 1) return {};
+  UniPoly out(p.size() - 1);
+  for (size_t d = 1; d < p.size(); ++d) {
+    out[d - 1] = p[d] * static_cast<double>(d);
+  }
+  return out;
+}
+
+int AsymptoticSign(const UniPoly& p, double tol) {
+  UniPoly trimmed = TrimLeading(p, tol);
+  if (trimmed.empty()) return 0;
+  return trimmed.back() > 0 ? 1 : -1;
+}
+
+namespace {
+
+// Polynomial remainder of a by b (b non-empty, leading coeff nonzero).
+UniPoly Remainder(UniPoly a, const UniPoly& b) {
+  MUDB_DCHECK(!b.empty());
+  while (a.size() >= b.size()) {
+    a = TrimLeading(a, 0.0);
+    if (a.size() < b.size()) break;
+    double factor = a.back() / b.back();
+    size_t shift = a.size() - b.size();
+    for (size_t i = 0; i < b.size(); ++i) {
+      a[i + shift] -= factor * b[i];
+    }
+    a.pop_back();  // leading term canceled exactly (up to rounding)
+  }
+  return TrimLeading(a, 0.0);
+}
+
+// Number of sign changes of the Sturm chain at x (zeros skipped).
+int SturmSignChanges(const std::vector<UniPoly>& chain, double x) {
+  int changes = 0;
+  int prev = 0;
+  for (const UniPoly& p : chain) {
+    double v = EvaluateUni(p, x);
+    int s = v > 0 ? 1 : (v < 0 ? -1 : 0);
+    if (s != 0) {
+      if (prev != 0 && s != prev) ++changes;
+      prev = s;
+    }
+  }
+  return changes;
+}
+
+}  // namespace
+
+std::vector<double> IsolateRealRoots(const UniPoly& p_in, double lo, double hi,
+                                     double eps) {
+  UniPoly p = TrimLeading(p_in, 0.0);
+  if (p.size() <= 1 || lo >= hi) return {};
+
+  // Build the Sturm chain p, p', -rem(p, p'), ...
+  std::vector<UniPoly> chain;
+  chain.push_back(p);
+  chain.push_back(DerivativeUni(p));
+  while (chain.back().size() > 1) {
+    UniPoly r = Remainder(chain[chain.size() - 2], chain.back());
+    if (r.empty()) break;
+    for (double& c : r) c = -c;
+    chain.push_back(std::move(r));
+  }
+
+  std::vector<double> roots;
+
+  // Recursively bisect intervals with a positive root count. Counts roots in
+  // (a, b] as V(a) - V(b).
+  struct Interval {
+    double a, b;
+    int count;
+  };
+  int total = SturmSignChanges(chain, lo) - SturmSignChanges(chain, hi);
+  if (total <= 0) {
+    // Sturm counts roots in (lo, hi]; a root exactly at hi is excluded from
+    // the open interval by the caller's contract, handled below.
+    return {};
+  }
+  std::vector<Interval> stack{{lo, hi, total}};
+  while (!stack.empty()) {
+    Interval iv = stack.back();
+    stack.pop_back();
+    if (iv.count == 0) continue;
+    if (iv.count == 1 || iv.b - iv.a < eps) {
+      // Refine a single root (or a cluster below resolution) by bisection on
+      // the Sturm count, which is robust even without a sign change of p.
+      double a = iv.a, b = iv.b;
+      int va = SturmSignChanges(chain, a);
+      while (b - a > eps) {
+        double mid = 0.5 * (a + b);
+        int vm = SturmSignChanges(chain, mid);
+        if (va - vm >= 1) {
+          b = mid;
+        } else {
+          a = mid;
+          va = vm;
+        }
+      }
+      roots.push_back(0.5 * (a + b));
+      continue;
+    }
+    double mid = 0.5 * (iv.a + iv.b);
+    int vmid = SturmSignChanges(chain, mid);
+    int left = SturmSignChanges(chain, iv.a) - vmid;
+    int right = vmid - SturmSignChanges(chain, iv.b);
+    stack.push_back({iv.a, mid, left});
+    stack.push_back({mid, iv.b, right});
+  }
+
+  std::sort(roots.begin(), roots.end());
+  // Drop roots that coincide with the interval's right endpoint (open
+  // interval contract) and merge duplicates from clustered refinement.
+  std::vector<double> out;
+  for (double r : roots) {
+    if (r >= hi - eps) continue;
+    if (r <= lo + eps) continue;
+    if (!out.empty() && std::fabs(out.back() - r) <= 2 * eps) continue;
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace mudb::poly

@@ -1,0 +1,45 @@
+// Univariate polynomial utilities: evaluation, asymptotic sign, Sturm
+// sequences and real-root isolation.
+//
+// AsymptoticSign implements the core of Lemma 8.4: the truth of an atom
+// p(k·a) ◦ 0 for k → ∞ is decided by the sign of the highest-degree nonzero
+// coefficient of the univariate restriction.
+//
+// Root isolation is used by the exact 2-D measure engine: the critical
+// directions of a bivariate leading form h(x, y) are the roots of h(1, t).
+
+#ifndef MUDB_SRC_POLY_UNIVARIATE_H_
+#define MUDB_SRC_POLY_UNIVARIATE_H_
+
+#include <vector>
+
+namespace mudb::poly {
+
+/// Coefficient vector; entry d is the coefficient of x^d.
+using UniPoly = std::vector<double>;
+
+/// Drops (near-)zero leading coefficients. `tol` guards against coefficients
+/// that are zero up to floating-point noise from the grounding arithmetic.
+UniPoly TrimLeading(const UniPoly& p, double tol = 0.0);
+
+/// Evaluates by Horner's rule.
+double EvaluateUni(const UniPoly& p, double x);
+
+/// Formal derivative.
+UniPoly DerivativeUni(const UniPoly& p);
+
+/// Sign (-1, 0, +1) of p(k) for all sufficiently large k > 0: the sign of the
+/// leading nonzero coefficient; 0 iff the polynomial is identically zero
+/// (coefficients with |c| <= tol are treated as zero).
+int AsymptoticSign(const UniPoly& p, double tol = 0.0);
+
+/// All real roots of p in the open interval (lo, hi), each reported once,
+/// in increasing order, refined by bisection to absolute precision `eps`.
+/// Uses Sturm's theorem for isolation, so multiple roots are found once.
+/// Degenerate inputs (zero polynomial) return an empty vector.
+std::vector<double> IsolateRealRoots(const UniPoly& p, double lo, double hi,
+                                     double eps = 1e-12);
+
+}  // namespace mudb::poly
+
+#endif  // MUDB_SRC_POLY_UNIVARIATE_H_

@@ -1,0 +1,46 @@
+// SQL front-end for the experimental pipeline: parses the SELECT–FROM–WHERE–
+// LIMIT subset used by the paper's §9 decision-support queries into the CQ IR.
+//
+// Supported grammar (keywords case-insensitive):
+//
+//   query    := SELECT colref (',' colref)*
+//               FROM table [alias] (',' table [alias])*
+//               [WHERE conjunct (AND conjunct)*]
+//               [LIMIT integer]
+//   conjunct := expr op expr          op ∈ { =, <>, !=, <, <=, >, >= }
+//   expr     := term (('+'|'-') term)*
+//   term     := factor (('*'|'/') factor)*     -- '/' only by numeric literal
+//   factor   := number | colref | 'string' | '(' expr ')' | '-' factor
+//   colref   := [alias '.'] column
+//
+// Base-sorted columns may appear only in equality/disequality conjuncts with
+// other base columns or string literals; numeric columns participate in
+// arithmetic. Division is supported only by a nonzero numeric literal (the
+// parser multiplies it out), matching FO(+,·,<): rewrite other divisions by
+// multiplying both sides.
+
+#ifndef MUDB_SRC_SQL_PARSER_H_
+#define MUDB_SRC_SQL_PARSER_H_
+
+#include <string>
+
+#include "src/engine/cq.h"
+#include "src/model/database.h"
+#include "src/util/status.h"
+
+namespace mudb::sql {
+
+/// Parses and binds `sql` against the schemas of `db`. Returns a validated
+/// ConjunctiveQuery whose variables are named "alias.column".
+util::StatusOr<engine::ConjunctiveQuery> ParseSqlQuery(
+    const std::string& sql, const model::Database& db);
+
+/// Parses `SELECT ... [UNION SELECT ...]* [LIMIT n]` into a UnionQuery. A
+/// LIMIT is only allowed after the final branch and applies to the union.
+/// Single-branch inputs are accepted (equivalent to ParseSqlQuery).
+util::StatusOr<engine::UnionQuery> ParseSqlUnionQuery(
+    const std::string& sql, const model::Database& db);
+
+}  // namespace mudb::sql
+
+#endif  // MUDB_SRC_SQL_PARSER_H_

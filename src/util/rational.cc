@@ -1,0 +1,99 @@
+#include "src/util/rational.h"
+
+#include <cstdlib>
+#include <limits>
+#include <numeric>
+
+namespace mudb::util {
+
+namespace {
+
+__int128 Gcd128(__int128 a, __int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    __int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+bool FitsInt64(__int128 v) {
+  return v >= std::numeric_limits<int64_t>::min() &&
+         v <= std::numeric_limits<int64_t>::max();
+}
+
+}  // namespace
+
+Rational Rational::FromInt128(__int128 num, __int128 den) {
+  MUDB_CHECK(den != 0);
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  __int128 g = Gcd128(num, den);
+  if (g > 1) {
+    num /= g;
+    den /= g;
+  }
+  MUDB_CHECK(FitsInt64(num) && FitsInt64(den));
+  Rational r;
+  r.num_ = static_cast<int64_t>(num);
+  r.den_ = static_cast<int64_t>(den);
+  return r;
+}
+
+Rational::Rational(int64_t num, int64_t den) {
+  *this = FromInt128(num, den);
+}
+
+std::string Rational::ToString() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::operator+(const Rational& other) const {
+  return FromInt128(static_cast<__int128>(num_) * other.den_ +
+                        static_cast<__int128>(other.num_) * den_,
+                    static_cast<__int128>(den_) * other.den_);
+}
+
+Rational Rational::operator-(const Rational& other) const {
+  return *this + (-other);
+}
+
+Rational Rational::operator*(const Rational& other) const {
+  return FromInt128(static_cast<__int128>(num_) * other.num_,
+                    static_cast<__int128>(den_) * other.den_);
+}
+
+Rational Rational::operator/(const Rational& other) const {
+  MUDB_CHECK(other.num_ != 0);
+  return FromInt128(static_cast<__int128>(num_) * other.den_,
+                    static_cast<__int128>(den_) * other.num_);
+}
+
+bool Rational::operator<(const Rational& other) const {
+  return static_cast<__int128>(num_) * other.den_ <
+         static_cast<__int128>(other.num_) * den_;
+}
+
+Rational Rational::Factorial(int n) {
+  MUDB_CHECK(n >= 0 && n <= 20);
+  int64_t value = 1;
+  for (int i = 2; i <= n; ++i) value *= i;
+  return Rational(value);
+}
+
+Rational Rational::PowerOfTwo(int n) {
+  MUDB_CHECK(n >= -62 && n <= 62);
+  int64_t p = int64_t{1} << (n < 0 ? -n : n);
+  return n >= 0 ? Rational(p) : Rational(1, p);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.ToString();
+}
+
+}  // namespace mudb::util

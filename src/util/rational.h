@@ -1,0 +1,81 @@
+// Exact rational arithmetic on 64-bit numerator/denominator.
+//
+// Used by the exact measure engines (FO(<) order patterns are always rational,
+// Prop. 6.2 of the paper). Operations check for overflow via __int128 and
+// abort on overflow: the exact engines only run on small instances where
+// overflow indicates a bug, not a data condition.
+
+#ifndef MUDB_SRC_UTIL_RATIONAL_H_
+#define MUDB_SRC_UTIL_RATIONAL_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace mudb::util {
+
+/// An exact rational number num/den with den > 0 and gcd(num, den) == 1.
+class Rational {
+ public:
+  /// Zero.
+  Rational() : num_(0), den_(1) {}
+  /// An integer value.
+  Rational(int64_t value) : num_(value), den_(1) {}  // NOLINT: implicit by design
+  /// num/den; den may be negative or non-reduced, normalization is applied.
+  /// Aborts if den == 0.
+  Rational(int64_t num, int64_t den);
+
+  int64_t numerator() const { return num_; }
+  int64_t denominator() const { return den_; }
+
+  double ToDouble() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+  /// "n/d", or just "n" when the denominator is 1.
+  std::string ToString() const;
+
+  bool IsZero() const { return num_ == 0; }
+  bool IsNegative() const { return num_ < 0; }
+
+  Rational operator-() const { return Rational(-num_, den_); }
+  Rational operator+(const Rational& other) const;
+  Rational operator-(const Rational& other) const;
+  Rational operator*(const Rational& other) const;
+  /// Aborts on division by zero.
+  Rational operator/(const Rational& other) const;
+
+  Rational& operator+=(const Rational& other) { return *this = *this + other; }
+  Rational& operator-=(const Rational& other) { return *this = *this - other; }
+  Rational& operator*=(const Rational& other) { return *this = *this * other; }
+  Rational& operator/=(const Rational& other) { return *this = *this / other; }
+
+  bool operator==(const Rational& other) const {
+    return num_ == other.num_ && den_ == other.den_;
+  }
+  bool operator!=(const Rational& other) const { return !(*this == other); }
+  bool operator<(const Rational& other) const;
+  bool operator<=(const Rational& other) const {
+    return *this < other || *this == other;
+  }
+  bool operator>(const Rational& other) const { return other < *this; }
+  bool operator>=(const Rational& other) const { return other <= *this; }
+
+  /// n! as a rational; aborts on overflow (n <= 20 is safe).
+  static Rational Factorial(int n);
+  /// 2^n as a rational; n in [-62, 62].
+  static Rational PowerOfTwo(int n);
+
+ private:
+  static Rational FromInt128(__int128 num, __int128 den);
+
+  int64_t num_;
+  int64_t den_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace mudb::util
+
+#endif  // MUDB_SRC_UTIL_RATIONAL_H_

@@ -1,0 +1,33 @@
+// Wall-clock timing used by the benchmark harnesses that regenerate the
+// paper's Figure 1 series.
+
+#ifndef MUDB_SRC_UTIL_TIMER_H_
+#define MUDB_SRC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace mudb::util {
+
+/// Measures elapsed wall time since construction or the last Restart().
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction/Restart.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction/Restart.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mudb::util
+
+#endif  // MUDB_SRC_UTIL_TIMER_H_

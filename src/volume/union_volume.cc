@@ -1,0 +1,75 @@
+#include "src/volume/union_volume.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "src/convex/sampler.h"
+
+namespace mudb::volume {
+
+util::StatusOr<UnionVolumeResult> EstimateUnionVolume(
+    const std::vector<SeededBody>& bodies, const UnionVolumeOptions& options,
+    util::Rng& rng) {
+  UnionVolumeResult result;
+  if (bodies.empty()) return result;
+  const int m = static_cast<int>(bodies.size());
+
+  // Per-body volume estimates.
+  result.body_volumes.resize(m);
+  double total = 0.0;
+  for (int i = 0; i < m; ++i) {
+    convex::VolumeEstimate est = convex::EstimateVolume(
+        bodies[i].body, bodies[i].inner, bodies[i].outer_radius_bound,
+        options.body_volume, rng);
+    result.body_volumes[i] = est.volume;
+    total += est.volume;
+  }
+  if (total <= 0.0) return result;
+
+  // Cumulative distribution for body selection proportional to volume.
+  std::vector<double> cdf(m);
+  double acc = 0.0;
+  for (int i = 0; i < m; ++i) {
+    acc += result.body_volumes[i];
+    cdf[i] = acc / total;
+  }
+
+  // One persistent hit-and-run chain per body (warm across samples).
+  std::vector<std::unique_ptr<convex::HitAndRunSampler>> samplers;
+  samplers.reserve(m);
+  int dim = bodies[0].body.dim();
+  int walk = options.walk_steps > 0 ? options.walk_steps : 4 * dim;
+  for (int i = 0; i < m; ++i) {
+    samplers.push_back(std::make_unique<convex::HitAndRunSampler>(
+        &bodies[i].body, bodies[i].inner.center));
+    samplers.back()->Walk(10 * walk, rng);
+  }
+
+  int num_samples = options.num_samples;
+  if (num_samples <= 0) {
+    double s = 12.0 * m / (options.epsilon * options.epsilon);
+    num_samples = static_cast<int>(std::clamp(s, 1000.0, 2000000.0));
+  }
+
+  double sum_inv = 0.0;
+  for (int s = 0; s < num_samples; ++s) {
+    double u = rng.Uniform01();
+    int pick = static_cast<int>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    pick = std::min(pick, m - 1);
+    samplers[pick]->Walk(walk, rng);
+    const geom::Vec& x = samplers[pick]->current();
+    int owners = 0;
+    for (int j = 0; j < m; ++j) {
+      if (result.body_volumes[j] > 0 && bodies[j].body.Contains(x)) ++owners;
+    }
+    // x came from body `pick`, so owners >= 1 (up to numerical tolerance).
+    owners = std::max(owners, 1);
+    sum_inv += 1.0 / owners;
+  }
+  result.volume = total * sum_inv / num_samples;
+  return result;
+}
+
+}  // namespace mudb::volume

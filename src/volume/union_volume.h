@@ -1,0 +1,56 @@
+// FPRAS for the volume of a union of convex bodies (Thm. 7.1's geometric
+// core; the role played by Bringmann–Friedrich [9] in the paper).
+//
+// Karp–Luby estimator: with per-body volume estimates V_i and uniform
+// samplers, sample a body with probability V_i / ΣV, draw x uniformly from
+// it, and average 1/m(x) where m(x) = #{j : x ∈ X_j}. Then
+//     Vol(∪X_i) = (Σ V_i) · E[1/m(x)],
+// and since E[1/m] >= 1/#bodies, O(#bodies / ε²) samples give a relative
+// (1 ± ε) estimate with constant probability.
+
+#ifndef MUDB_SRC_VOLUME_UNION_VOLUME_H_
+#define MUDB_SRC_VOLUME_UNION_VOLUME_H_
+
+#include <vector>
+
+#include "src/convex/body.h"
+#include "src/convex/volume.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace mudb::volume {
+
+struct UnionVolumeOptions {
+  /// Target relative accuracy.
+  double epsilon = 0.1;
+  /// Hit-and-run steps between Karp–Luby samples; 0 = auto (≈ 4·dim).
+  int walk_steps = 0;
+  /// Karp–Luby samples; 0 = auto from epsilon and the number of bodies.
+  int num_samples = 0;
+  /// Options for the per-body volume estimates.
+  convex::VolumeOptions body_volume;
+};
+
+struct UnionVolumeResult {
+  double volume = 0.0;
+  /// Per-body volume estimates (0 for bodies with empty interior).
+  std::vector<double> body_volumes;
+};
+
+/// A body together with its inner ball (bodies without one have volume 0 and
+/// may simply be omitted by the caller).
+struct SeededBody {
+  convex::ConvexBody body;
+  convex::InnerBall inner;
+  /// Radius bound: body ⊆ B(inner.center, outer_radius_bound).
+  double outer_radius_bound;
+};
+
+/// Estimates Vol(X_1 ∪ ... ∪ X_m). Empty input yields 0.
+util::StatusOr<UnionVolumeResult> EstimateUnionVolume(
+    const std::vector<SeededBody>& bodies, const UnionVolumeOptions& options,
+    util::Rng& rng);
+
+}  // namespace mudb::volume
+
+#endif  // MUDB_SRC_VOLUME_UNION_VOLUME_H_

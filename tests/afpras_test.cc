@@ -1,0 +1,181 @@
+// Tests for the AFPRAS of Thm. 8.1.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/measure/afpras.h"
+#include "src/measure/nu_exact.h"
+#include "src/util/rng.h"
+
+namespace mudb::measure {
+namespace {
+
+using constraints::CmpOp;
+using constraints::RealFormula;
+using poly::Polynomial;
+
+Polynomial Z(int i) { return Polynomial::Variable(i); }
+Polynomial C(double c) { return Polynomial::Constant(c); }
+
+TEST(SampleCountTest, MatchesHoeffdingBound) {
+  // m = ln(2/δ) / (2 ε²).
+  EXPECT_EQ(AfprasSampleCount(0.1, 0.25),
+            static_cast<int64_t>(std::ceil(std::log(8.0) / 0.02)));
+  // Smaller ε or δ needs more samples.
+  EXPECT_GT(AfprasSampleCount(0.01, 0.25), AfprasSampleCount(0.1, 0.25));
+  EXPECT_GT(AfprasSampleCount(0.1, 0.01), AfprasSampleCount(0.1, 0.25));
+  // The paper's m >= ε^{-2} for δ = 1/4 is within a small constant.
+  EXPECT_GE(AfprasSampleCount(0.05, 0.25), 400);
+}
+
+TEST(AfprasTest, ConstantFormulaExact) {
+  AfprasOptions opts;
+  util::Rng rng(1);
+  auto t = Afpras(RealFormula::True(), opts, rng);
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(t->estimate, 1.0);
+  EXPECT_EQ(t->samples, 0);
+  auto f = Afpras(RealFormula::False(), opts, rng);
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ(f->estimate, 0.0);
+}
+
+TEST(AfprasTest, RejectsBadEpsilon) {
+  AfprasOptions opts;
+  opts.epsilon = 0.0;
+  util::Rng rng(1);
+  EXPECT_FALSE(Afpras(RealFormula::Cmp(Z(0), CmpOp::kLt), opts, rng).ok());
+  opts.epsilon = 1.5;
+  EXPECT_FALSE(Afpras(RealFormula::Cmp(Z(0), CmpOp::kLt), opts, rng).ok());
+}
+
+TEST(AfprasTest, HalfspaceConvergesToHalf) {
+  AfprasOptions opts;
+  opts.num_samples = 100000;
+  util::Rng rng(2);
+  auto r = Afpras(RealFormula::Cmp(Z(0) + Z(1) - Z(2), CmpOp::kLt), opts, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->estimate, 0.5, 0.01);
+  EXPECT_EQ(r->sampled_dimension, 3);
+}
+
+TEST(AfprasTest, OrthantIn4D) {
+  std::vector<RealFormula> parts;
+  for (int i = 0; i < 4; ++i) {
+    parts.push_back(RealFormula::Cmp(-Z(i), CmpOp::kLt));
+  }
+  AfprasOptions opts;
+  opts.num_samples = 200000;
+  util::Rng rng(3);
+  auto r = Afpras(RealFormula::And(parts), opts, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->estimate, 1.0 / 16, 0.005);
+}
+
+TEST(AfprasTest, NonlinearFormula) {
+  // z0² + z1² > 2 z0 z1 ⟺ (z0-z1)² > 0: true except on the diagonal: ν = 1.
+  RealFormula f = RealFormula::Cmp(
+      Z(0) * Z(0) + Z(1) * Z(1) - C(2) * Z(0) * Z(1), CmpOp::kGt);
+  AfprasOptions opts;
+  opts.num_samples = 20000;
+  util::Rng rng(4);
+  auto r = Afpras(f, opts, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->estimate, 1.0, 1e-9);
+}
+
+TEST(AfprasTest, DeterministicGivenSeed) {
+  RealFormula f = RealFormula::Cmp(Z(0) - Z(1), CmpOp::kLt);
+  AfprasOptions opts;
+  opts.num_samples = 5000;
+  util::Rng rng1(9), rng2(9);
+  auto a = Afpras(f, opts, rng1);
+  auto b = Afpras(f, opts, rng2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->estimate, b->estimate);
+}
+
+TEST(AfprasTest, RestrictToUsedVarsGivesSameDistribution) {
+  // Formula on variables {0, 7} embedded in a 8-dim space: restricting to the
+  // used coordinates must not change the measure (the §9 optimization).
+  std::vector<RealFormula> parts;
+  parts.push_back(RealFormula::Cmp(-Z(0), CmpOp::kLt));
+  parts.push_back(RealFormula::Cmp(-Z(7), CmpOp::kLt));
+  RealFormula f = RealFormula::And(parts);
+  AfprasOptions fast;
+  fast.num_samples = 150000;
+  fast.restrict_to_used_vars = true;
+  AfprasOptions slow = fast;
+  slow.restrict_to_used_vars = false;
+  util::Rng rng1(5), rng2(6);
+  auto a = Afpras(f, fast, rng1);
+  auto b = Afpras(f, slow, rng2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->sampled_dimension, 2);
+  EXPECT_EQ(b->sampled_dimension, 8);
+  EXPECT_NEAR(a->estimate, 0.25, 0.01);
+  EXPECT_NEAR(b->estimate, 0.25, 0.01);
+}
+
+TEST(AfprasTest, ParallelSamplingIsDeterministicAndAccurate) {
+  std::vector<RealFormula> parts;
+  parts.push_back(RealFormula::Cmp(-Z(0), CmpOp::kLt));
+  parts.push_back(RealFormula::Cmp(-Z(1), CmpOp::kLt));
+  RealFormula f = RealFormula::And(parts);  // quadrant: ν = 1/4
+  AfprasOptions opts;
+  opts.num_samples = 200000;
+  opts.num_threads = 4;
+  util::Rng rng1(77), rng2(77);
+  auto a = Afpras(f, opts, rng1);
+  auto b = Afpras(f, opts, rng2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->estimate, b->estimate);  // scheduling-independent
+  EXPECT_NEAR(a->estimate, 0.25, 0.01);
+  // A different thread count changes the substreams but not the accuracy.
+  opts.num_threads = 3;
+  util::Rng rng3(77);
+  auto c = Afpras(f, opts, rng3);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(c->estimate, 0.25, 0.01);
+}
+
+// Property: the additive guarantee |estimate − ν| < ε holds with margin on
+// formulas whose exact value the 2-D engine provides.
+class AfprasAccuracyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AfprasAccuracyTest, WithinEpsilonOfExact2D) {
+  util::Rng formula_rng(GetParam());
+  for (int iter = 0; iter < 5; ++iter) {
+    // Random sector formula over 2 variables.
+    std::vector<RealFormula> parts;
+    for (int i = 0; i < 3; ++i) {
+      Polynomial p = C(formula_rng.Uniform(-1, 1)) * Z(0) +
+                     C(formula_rng.Uniform(-1, 1)) * Z(1) +
+                     C(formula_rng.Uniform(-1, 1));
+      parts.push_back(RealFormula::Cmp(p, CmpOp::kLt));
+    }
+    RealFormula f = formula_rng.Bernoulli(0.5) ? RealFormula::And(parts)
+                                               : RealFormula::Or(parts);
+    if (f.is_constant()) continue;
+    auto exact = NuExact2D(f);
+    ASSERT_TRUE(exact.ok());
+    AfprasOptions opts;
+    opts.epsilon = 0.02;
+    opts.delta = 0.001;  // high confidence so the test is stable
+    util::Rng rng(GetParam() * 100 + iter);
+    auto approx = Afpras(f, opts, rng);
+    ASSERT_TRUE(approx.ok());
+    EXPECT_LT(std::fabs(approx->estimate - *exact), 0.02)
+        << "iter " << iter << " exact " << *exact;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AfprasAccuracyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace mudb::measure

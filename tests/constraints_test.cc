@@ -1,0 +1,363 @@
+// Tests for src/constraints: atoms, formula folding, NNF/DNF, homogenization,
+// and the asymptotic truth evaluation of Lemmas 8.2/8.4.
+
+#include <gtest/gtest.h>
+
+#include "src/constraints/real_formula.h"
+#include "src/util/rng.h"
+
+namespace mudb::constraints {
+namespace {
+
+using poly::Polynomial;
+
+Polynomial Z(int i) { return Polynomial::Variable(i); }
+Polynomial C(double c) { return Polynomial::Constant(c); }
+
+TEST(CmpOpTest, NegationIsInvolutionOnTruth) {
+  for (CmpOp op : {CmpOp::kLt, CmpOp::kLe, CmpOp::kEq, CmpOp::kNeq,
+                   CmpOp::kGe, CmpOp::kGt}) {
+    for (int sign : {-1, 0, 1}) {
+      EXPECT_NE(CmpTruthFromSign(op, sign),
+                CmpTruthFromSign(NegateCmpOp(op), sign));
+    }
+  }
+}
+
+TEST(CmpOpTest, TruthTable) {
+  EXPECT_TRUE(CmpTruthFromSign(CmpOp::kLt, -1));
+  EXPECT_FALSE(CmpTruthFromSign(CmpOp::kLt, 0));
+  EXPECT_TRUE(CmpTruthFromSign(CmpOp::kLe, 0));
+  EXPECT_TRUE(CmpTruthFromSign(CmpOp::kEq, 0));
+  EXPECT_FALSE(CmpTruthFromSign(CmpOp::kEq, 1));
+  EXPECT_TRUE(CmpTruthFromSign(CmpOp::kNeq, 1));
+  EXPECT_TRUE(CmpTruthFromSign(CmpOp::kGe, 0));
+  EXPECT_TRUE(CmpTruthFromSign(CmpOp::kGt, 1));
+}
+
+TEST(RealFormulaTest, ConstantAtomsFold) {
+  EXPECT_EQ(RealFormula::Cmp(C(-1), CmpOp::kLt).kind(),
+            RealFormula::Kind::kTrue);
+  EXPECT_EQ(RealFormula::Cmp(C(1), CmpOp::kLt).kind(),
+            RealFormula::Kind::kFalse);
+  EXPECT_EQ(RealFormula::Cmp(C(0), CmpOp::kEq).kind(),
+            RealFormula::Kind::kTrue);
+  EXPECT_EQ(RealFormula::Cmp(Polynomial(), CmpOp::kNeq).kind(),
+            RealFormula::Kind::kFalse);
+}
+
+TEST(RealFormulaTest, AndOrFolding) {
+  RealFormula atom = RealFormula::Cmp(Z(0), CmpOp::kLt);
+  std::vector<RealFormula> v1;
+  v1.push_back(RealFormula::True());
+  v1.push_back(atom);
+  EXPECT_EQ(RealFormula::And(v1).kind(), RealFormula::Kind::kAtom);
+
+  std::vector<RealFormula> v2;
+  v2.push_back(RealFormula::False());
+  v2.push_back(atom);
+  EXPECT_EQ(RealFormula::And(v2).kind(), RealFormula::Kind::kFalse);
+  EXPECT_EQ(RealFormula::Or(v2).kind(), RealFormula::Kind::kAtom);
+
+  std::vector<RealFormula> v3;
+  v3.push_back(RealFormula::True());
+  EXPECT_EQ(RealFormula::Or(v3).kind(), RealFormula::Kind::kTrue);
+  EXPECT_EQ(RealFormula::And({}).kind(), RealFormula::Kind::kTrue);
+  EXPECT_EQ(RealFormula::Or({}).kind(), RealFormula::Kind::kFalse);
+}
+
+TEST(RealFormulaTest, NestedAndOrFlatten) {
+  RealFormula a = RealFormula::Cmp(Z(0), CmpOp::kLt);
+  RealFormula b = RealFormula::Cmp(Z(1), CmpOp::kGt);
+  RealFormula c = RealFormula::Cmp(Z(2), CmpOp::kLe);
+  std::vector<RealFormula> inner;
+  inner.push_back(a);
+  inner.push_back(b);
+  std::vector<RealFormula> outer;
+  outer.push_back(RealFormula::And(inner));
+  outer.push_back(c);
+  RealFormula f = RealFormula::And(outer);
+  EXPECT_EQ(f.children().size(), 3u);
+}
+
+TEST(RealFormulaTest, NotOnConstantsAndAtoms) {
+  EXPECT_EQ(RealFormula::Not(RealFormula::True()).kind(),
+            RealFormula::Kind::kFalse);
+  RealFormula a = RealFormula::Cmp(Z(0), CmpOp::kLt);
+  RealFormula na = RealFormula::Not(a);
+  ASSERT_EQ(na.kind(), RealFormula::Kind::kAtom);
+  EXPECT_EQ(na.atom().op, CmpOp::kGe);
+  // Double negation restores the original op.
+  EXPECT_EQ(RealFormula::Not(na).atom().op, CmpOp::kLt);
+}
+
+TEST(RealFormulaTest, EvaluateAtPoint) {
+  // (z0 < 0 || z1 > 0) && z0 + z1 <= 1
+  std::vector<RealFormula> disj;
+  disj.push_back(RealFormula::Cmp(Z(0), CmpOp::kLt));
+  disj.push_back(RealFormula::Cmp(-Z(1), CmpOp::kLt));
+  std::vector<RealFormula> conj;
+  conj.push_back(RealFormula::Or(disj));
+  conj.push_back(RealFormula::Cmp(Z(0) + Z(1) - C(1), CmpOp::kLe));
+  RealFormula f = RealFormula::And(conj);
+  EXPECT_TRUE(f.EvaluateAt({-1.0, 0.0}));
+  EXPECT_TRUE(f.EvaluateAt({0.5, 0.5}));
+  EXPECT_FALSE(f.EvaluateAt({0.5, -0.5}));
+  EXPECT_FALSE(f.EvaluateAt({2.0, 3.0}));
+}
+
+TEST(RealFormulaTest, StructureQueries) {
+  RealFormula f = RealFormula::And([] {
+    std::vector<RealFormula> v;
+    v.push_back(RealFormula::Cmp(Z(0) * Z(1), CmpOp::kLt));
+    v.push_back(RealFormula::Cmp(Z(3), CmpOp::kGe));
+    return v;
+  }());
+  EXPECT_EQ(f.AtomCount(), 2u);
+  EXPECT_EQ(f.NumVariables(), 4);
+  EXPECT_FALSE(f.IsLinear());
+  EXPECT_EQ(f.UsedVariables(), (std::set<int>{0, 1, 3}));
+}
+
+TEST(RealFormulaTest, RemapVariables) {
+  RealFormula f = RealFormula::Cmp(Z(2) - Z(5), CmpOp::kLt);
+  std::vector<int> remap(6, -1);
+  remap[2] = 0;
+  remap[5] = 1;
+  RealFormula g = f.RemapVariables(remap);
+  EXPECT_EQ(g.UsedVariables(), (std::set<int>{0, 1}));
+  EXPECT_TRUE(g.EvaluateAt({1.0, 2.0}));
+  EXPECT_FALSE(g.EvaluateAt({2.0, 1.0}));
+}
+
+// ---- Asymptotic truth -------------------------------------------------------
+
+TEST(AsymptoticTest, LinearAtomUsesLeadingCoefficient) {
+  // z0 - 5 < 0 along direction +1 is eventually false, along -1 true.
+  RealFormula f = RealFormula::Cmp(Z(0) - C(5), CmpOp::kLt);
+  EXPECT_FALSE(f.AsymptoticTruth({1.0}));
+  EXPECT_TRUE(f.AsymptoticTruth({-1.0}));
+}
+
+TEST(AsymptoticTest, ConstantTermBreaksTiesWhenLeadingVanishes) {
+  // z0 - z1 + 1 > 0 along the diagonal (1,1): leading coefficient cancels,
+  // the constant +1 decides.
+  RealFormula f = RealFormula::Cmp(Z(0) - Z(1) + C(1), CmpOp::kGt);
+  EXPECT_TRUE(f.AsymptoticTruth({1.0, 1.0}));
+  EXPECT_FALSE(f.AsymptoticTruth({0.0, 1.0}));
+}
+
+TEST(AsymptoticTest, EqualityRequiresIdenticalVanishing) {
+  RealFormula eq = RealFormula::Cmp(Z(0) - Z(1), CmpOp::kEq);
+  EXPECT_TRUE(eq.AsymptoticTruth({1.0, 1.0}));
+  EXPECT_FALSE(eq.AsymptoticTruth({1.0, 2.0}));
+  // z0 - z1 + 3 = 0 fails even on the diagonal (constant survives).
+  RealFormula eq2 = RealFormula::Cmp(Z(0) - Z(1) + C(3), CmpOp::kEq);
+  EXPECT_FALSE(eq2.AsymptoticTruth({1.0, 1.0}));
+}
+
+TEST(AsymptoticTest, HigherDegreeDominates) {
+  // -z0^2 + 100 z1 < 0: along any direction with a0 != 0 eventually true.
+  RealFormula f =
+      RealFormula::Cmp(-(Z(0) * Z(0)) + C(100) * Z(1), CmpOp::kLt);
+  EXPECT_TRUE(f.AsymptoticTruth({0.1, 1.0}));
+  EXPECT_FALSE(f.AsymptoticTruth({0.0, 1.0}));
+}
+
+// Property (Lemma 8.2): the asymptotic value matches evaluation at large k.
+class AsymptoticPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AsymptoticPropertyTest, MatchesEvaluationFarOut) {
+  util::Rng rng(GetParam());
+  for (int iter = 0; iter < 100; ++iter) {
+    // Random conjunction/disjunction of random linear+quadratic atoms.
+    std::vector<RealFormula> atoms;
+    int n = 3;
+    for (int i = 0; i < 4; ++i) {
+      Polynomial p = C(rng.Uniform(-2, 2));
+      for (int v = 0; v < n; ++v) {
+        p = p + C(rng.Uniform(-2, 2)) * Z(v);
+        if (rng.Bernoulli(0.3)) {
+          p = p + C(rng.Uniform(-1, 1)) * Z(v) * Z(v);
+        }
+      }
+      CmpOp op = rng.Bernoulli(0.5) ? CmpOp::kLt : CmpOp::kGe;
+      atoms.push_back(RealFormula::Cmp(p, op));
+    }
+    std::vector<RealFormula> lhs{atoms[0], atoms[1]};
+    std::vector<RealFormula> rhs{atoms[2], RealFormula::Not(atoms[3])};
+    std::vector<RealFormula> both{RealFormula::And(lhs),
+                                  RealFormula::Or(rhs)};
+    RealFormula f = RealFormula::Or(both);
+
+    std::vector<double> a(n);
+    for (int v = 0; v < n; ++v) a[v] = rng.Uniform(-1, 1);
+    bool asym = f.AsymptoticTruth(a, 1e-9);
+    // Evaluate at a very large multiple of the direction.
+    double k = 1e8;
+    std::vector<double> far(n);
+    for (int v = 0; v < n; ++v) far[v] = k * a[v];
+    bool eval = f.EvaluateAt(far);
+    EXPECT_EQ(asym, eval) << "iter " << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsymptoticPropertyTest,
+                         ::testing::Values(5, 6, 7, 8));
+
+// ---- NNF / DNF ---------------------------------------------------------------
+
+TEST(NnfTest, PushesNegationsOntoAtoms) {
+  RealFormula a = RealFormula::Cmp(Z(0), CmpOp::kLt);
+  RealFormula b = RealFormula::Cmp(Z(1), CmpOp::kGt);
+  std::vector<RealFormula> v{a, b};
+  RealFormula f = RealFormula::Not(RealFormula::And(v));
+  RealFormula nnf = f.ToNnf();
+  EXPECT_EQ(nnf.kind(), RealFormula::Kind::kOr);
+  for (const RealFormula& c : nnf.children()) {
+    EXPECT_EQ(c.kind(), RealFormula::Kind::kAtom);
+  }
+}
+
+TEST(DnfTest, SimpleDistribution) {
+  // (a || b) && c -> (a && c) || (b && c): 2 disjuncts of 2 atoms.
+  RealFormula a = RealFormula::Cmp(Z(0), CmpOp::kLt);
+  RealFormula b = RealFormula::Cmp(Z(1), CmpOp::kLt);
+  RealFormula c = RealFormula::Cmp(Z(2), CmpOp::kLt);
+  std::vector<RealFormula> ors{a, b};
+  std::vector<RealFormula> ands{RealFormula::Or(ors), c};
+  RealFormula f = RealFormula::And(ands);
+  auto dnf = f.ToDnf();
+  ASSERT_TRUE(dnf.ok());
+  ASSERT_EQ(dnf->size(), 2u);
+  EXPECT_EQ((*dnf)[0].size(), 2u);
+  EXPECT_EQ((*dnf)[1].size(), 2u);
+}
+
+TEST(DnfTest, RespectsLimit) {
+  // (a1 || b1) && ... && (a12 || b12) has 2^12 disjuncts.
+  std::vector<RealFormula> clauses;
+  for (int i = 0; i < 12; ++i) {
+    std::vector<RealFormula> ors;
+    ors.push_back(RealFormula::Cmp(Z(2 * i), CmpOp::kLt));
+    ors.push_back(RealFormula::Cmp(Z(2 * i + 1), CmpOp::kLt));
+    clauses.push_back(RealFormula::Or(ors));
+  }
+  RealFormula f = RealFormula::And(clauses);
+  auto too_small = f.ToDnf(100);
+  EXPECT_FALSE(too_small.ok());
+  EXPECT_EQ(too_small.status().code(), util::StatusCode::kResourceExhausted);
+  auto big_enough = f.ToDnf(5000);
+  ASSERT_TRUE(big_enough.ok());
+  EXPECT_EQ(big_enough->size(), 4096u);
+}
+
+TEST(DnfTest, ConstantsHandled) {
+  auto dnf_true = RealFormula::True().ToDnf();
+  ASSERT_TRUE(dnf_true.ok());
+  ASSERT_EQ(dnf_true->size(), 1u);
+  EXPECT_TRUE((*dnf_true)[0].empty());
+  auto dnf_false = RealFormula::False().ToDnf();
+  ASSERT_TRUE(dnf_false.ok());
+  EXPECT_TRUE(dnf_false->empty());
+}
+
+// Property: DNF is logically equivalent to the original formula.
+class DnfPropertyTest : public ::testing::TestWithParam<int> {};
+
+RealFormula RandomLinearFormula(util::Rng& rng, int vars, int depth) {
+  if (depth == 0 || rng.Bernoulli(0.3)) {
+    Polynomial p = C(rng.Uniform(-1, 1));
+    for (int v = 0; v < vars; ++v) {
+      p = p + C(rng.Uniform(-2, 2)) * Z(v);
+    }
+    static const CmpOp kOps[] = {CmpOp::kLt, CmpOp::kLe, CmpOp::kGt,
+                                 CmpOp::kGe};
+    return RealFormula::Cmp(p, kOps[rng.UniformInt(0, 3)]);
+  }
+  int arity = static_cast<int>(rng.UniformInt(2, 3));
+  std::vector<RealFormula> children;
+  for (int i = 0; i < arity; ++i) {
+    children.push_back(RandomLinearFormula(rng, vars, depth - 1));
+  }
+  switch (rng.UniformInt(0, 2)) {
+    case 0:
+      return RealFormula::And(std::move(children));
+    case 1:
+      return RealFormula::Or(std::move(children));
+    default:
+      return RealFormula::Not(std::move(children[0]));
+  }
+}
+
+TEST_P(DnfPropertyTest, DnfEquivalentOnRandomPoints) {
+  util::Rng rng(GetParam());
+  for (int iter = 0; iter < 30; ++iter) {
+    RealFormula f = RandomLinearFormula(rng, 3, 3);
+    auto dnf = f.ToDnf();
+    ASSERT_TRUE(dnf.ok());
+    for (int pt = 0; pt < 50; ++pt) {
+      std::vector<double> x{rng.Uniform(-3, 3), rng.Uniform(-3, 3),
+                            rng.Uniform(-3, 3)};
+      bool orig = f.EvaluateAt(x);
+      bool via_dnf = false;
+      for (const Conjunction& conj : *dnf) {
+        bool all = true;
+        for (const RealAtom& atom : conj) {
+          if (!atom.EvaluateAt(x)) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          via_dnf = true;
+          break;
+        }
+      }
+      EXPECT_EQ(orig, via_dnf);
+    }
+  }
+}
+
+TEST_P(DnfPropertyTest, NnfEquivalentOnRandomPoints) {
+  util::Rng rng(GetParam() + 1000);
+  for (int iter = 0; iter < 30; ++iter) {
+    RealFormula f = RandomLinearFormula(rng, 3, 3);
+    RealFormula nnf = f.ToNnf();
+    for (int pt = 0; pt < 50; ++pt) {
+      std::vector<double> x{rng.Uniform(-3, 3), rng.Uniform(-3, 3),
+                            rng.Uniform(-3, 3)};
+      EXPECT_EQ(f.EvaluateAt(x), nnf.EvaluateAt(x));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DnfPropertyTest, ::testing::Values(1, 2, 3));
+
+TEST(FormatFormulaTest, UsesSuppliedVariableNames) {
+  std::vector<RealFormula> parts;
+  parts.push_back(RealFormula::Cmp(Z(0) - Z(1), CmpOp::kLt));
+  parts.push_back(RealFormula::Cmp(Z(0) * Z(0) - C(4), CmpOp::kGe));
+  RealFormula f = RealFormula::And(parts);
+  std::string text = FormatFormula(f, [](int i) {
+    return "\xE2\x8A\xA4" + std::to_string(10 + i);  // ⊤10, ⊤11
+  });
+  EXPECT_NE(text.find("\xE2\x8A\xA4" "10"), std::string::npos);
+  EXPECT_NE(text.find("\xE2\x8A\xA4" "11"), std::string::npos);
+  EXPECT_EQ(text.find("z0"), std::string::npos);
+  // Default naming matches ToString.
+  EXPECT_EQ(FormatFormula(f, [](int i) { return "z" + std::to_string(i); }),
+            f.ToString());
+}
+
+TEST(HomogenizeTest, DropsConstants) {
+  Conjunction conj{{Z(0) - C(5), CmpOp::kLt}, {Z(1) + C(2), CmpOp::kGe}};
+  Conjunction hom = HomogenizeLinear(conj);
+  ASSERT_EQ(hom.size(), 2u);
+  EXPECT_DOUBLE_EQ(hom[0].poly.ConstantTerm(), 0.0);
+  EXPECT_DOUBLE_EQ(hom[1].poly.ConstantTerm(), 0.0);
+  EXPECT_EQ(hom[0].op, CmpOp::kLt);
+}
+
+}  // namespace
+}  // namespace mudb::constraints

@@ -1,0 +1,174 @@
+// Tests for src/convex: bodies, chords, inner balls, hit-and-run, annealed
+// volume estimation.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/convex/body.h"
+#include "src/convex/sampler.h"
+#include "src/convex/volume.h"
+#include "src/geom/geometry.h"
+
+namespace mudb::convex {
+namespace {
+
+ConvexBody UnitBallBody(int n) {
+  ConvexBody body(n);
+  body.AddBall(geom::Vec(n, 0.0), 1.0);
+  return body;
+}
+
+// The positive-orthant cone intersected with the unit ball.
+ConvexBody OrthantCone(int n) {
+  ConvexBody body(n);
+  for (int j = 0; j < n; ++j) {
+    geom::Vec a(n, 0.0);
+    a[j] = -1.0;  // -x_j <= 0, i.e. x_j >= 0
+    body.AddHalfspace(a, 0.0);
+  }
+  body.AddBall(geom::Vec(n, 0.0), 1.0);
+  return body;
+}
+
+TEST(BodyTest, ContainsRespectsHalfspacesAndBalls) {
+  ConvexBody body = OrthantCone(2);
+  EXPECT_TRUE(body.Contains({0.3, 0.3}));
+  EXPECT_FALSE(body.Contains({-0.3, 0.3}));
+  EXPECT_FALSE(body.Contains({0.9, 0.9}));  // outside the ball
+  EXPECT_TRUE(body.Contains({0.0, 0.0}));
+}
+
+TEST(BodyTest, ChordAgainstBall) {
+  ConvexBody body = UnitBallBody(2);
+  auto chord = body.Chord({0.0, 0.0}, {1.0, 0.0});
+  ASSERT_TRUE(chord.has_value());
+  EXPECT_NEAR(chord->first, -1.0, 1e-12);
+  EXPECT_NEAR(chord->second, 1.0, 1e-12);
+}
+
+TEST(BodyTest, ChordAgainstHalfspace) {
+  ConvexBody body = OrthantCone(2);
+  auto chord = body.Chord({0.2, 0.2}, {1.0, 0.0});
+  ASSERT_TRUE(chord.has_value());
+  EXPECT_NEAR(chord->first, -0.2, 1e-12);  // x >= 0 wall
+  // Right end on the unit circle: 0.04 + (0.2+t)^2 = 1.
+  EXPECT_NEAR(chord->second, std::sqrt(1 - 0.04) - 0.2, 1e-12);
+}
+
+TEST(BodyTest, ChordParallelToHalfspaceOutside) {
+  ConvexBody body(2);
+  body.AddHalfspace({0.0, 1.0}, 0.0);  // y <= 0
+  body.AddBall({0.0, 0.0}, 1.0);
+  // Point above the halfspace, direction parallel to it: no chord.
+  EXPECT_FALSE(body.Chord({0.0, 0.5}, {1.0, 0.0}).has_value());
+}
+
+TEST(InnerBallTest, OrthantConeHasInteriorBall) {
+  std::vector<std::pair<geom::Vec, double>> hs;
+  for (int j = 0; j < 3; ++j) {
+    geom::Vec a(3, 0.0);
+    a[j] = -1.0;
+    hs.emplace_back(a, 0.0);
+  }
+  auto inner = FindInnerBall(hs, 3, 1.0);
+  ASSERT_TRUE(inner.has_value());
+  EXPECT_GT(inner->radius, 0.05);
+  // The ball must sit inside the cone and the unit ball.
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_GE(inner->center[j], inner->radius - 1e-9);
+  }
+  EXPECT_LE(geom::Norm(inner->center) + inner->radius, 1.0 + 1e-9);
+}
+
+TEST(InnerBallTest, EmptyConeReturnsNothing) {
+  // x <= 0 and -x <= 0 and then y <= -x ... make an actually empty interior:
+  // x >= 0 and x <= 0 pins x = 0 (lower-dimensional).
+  std::vector<std::pair<geom::Vec, double>> hs;
+  hs.push_back({{1.0, 0.0}, 0.0});   // x <= 0
+  hs.push_back({{-1.0, 0.0}, 0.0});  // x >= 0
+  auto inner = FindInnerBall(hs, 2, 1.0);
+  EXPECT_FALSE(inner.has_value());
+}
+
+TEST(InnerBallTest, TrivialAndInfeasibleZeroRows) {
+  std::vector<std::pair<geom::Vec, double>> trivial;
+  trivial.push_back({{0.0, 0.0}, 1.0});  // 0 <= 1
+  EXPECT_TRUE(FindInnerBall(trivial, 2, 1.0).has_value());
+  std::vector<std::pair<geom::Vec, double>> impossible;
+  impossible.push_back({{0.0, 0.0}, -1.0});  // 0 <= -1
+  EXPECT_FALSE(FindInnerBall(impossible, 2, 1.0).has_value());
+}
+
+TEST(SamplerTest, StaysInsideBody) {
+  ConvexBody body = OrthantCone(3);
+  util::Rng rng(5);
+  HitAndRunSampler sampler(&body, {0.1, 0.1, 0.1});
+  for (int i = 0; i < 2000; ++i) {
+    sampler.Step(rng);
+    EXPECT_TRUE(body.Contains(sampler.current()));
+  }
+}
+
+TEST(SamplerTest, BallSamplingIsApproximatelyUniform) {
+  // In the unit ball, P(||x|| <= 2^{-1/n}) should be 1/2.
+  const int n = 2;
+  ConvexBody body = UnitBallBody(n);
+  util::Rng rng(6);
+  HitAndRunSampler sampler(&body, geom::Vec(n, 0.0));
+  sampler.Walk(200, rng);
+  int inside = 0;
+  const int m = 20000;
+  double threshold = std::pow(0.5, 1.0 / n);
+  for (int i = 0; i < m; ++i) {
+    sampler.Walk(8, rng);
+    if (geom::Norm(sampler.current()) <= threshold) ++inside;
+  }
+  EXPECT_NEAR(static_cast<double>(inside) / m, 0.5, 0.03);
+}
+
+TEST(VolumeTest, UnitBall2D) {
+  ConvexBody body = UnitBallBody(2);
+  InnerBall inner{geom::Vec(2, 0.0), 0.9};
+  VolumeOptions opts;
+  opts.epsilon = 0.05;
+  util::Rng rng(7);
+  VolumeEstimate est = EstimateVolume(body, inner, 1.01, opts, rng);
+  EXPECT_NEAR(est.volume, M_PI, 0.12 * M_PI);
+}
+
+TEST(VolumeTest, HalfBall2D) {
+  ConvexBody body(2);
+  body.AddHalfspace({0.0, 1.0}, 0.0);  // y <= 0
+  body.AddBall({0.0, 0.0}, 1.0);
+  auto inner = FindInnerBall({{{0.0, 1.0}, 0.0}}, 2, 1.0);
+  ASSERT_TRUE(inner.has_value());
+  VolumeOptions opts;
+  opts.epsilon = 0.05;
+  util::Rng rng(8);
+  VolumeEstimate est =
+      EstimateVolume(body, *inner, 1.0 + geom::Norm(inner->center), opts, rng);
+  EXPECT_NEAR(est.volume, M_PI / 2, 0.12 * M_PI / 2);
+}
+
+TEST(VolumeTest, OrthantCone3DIsEighthBall) {
+  ConvexBody body = OrthantCone(3);
+  std::vector<std::pair<geom::Vec, double>> hs;
+  for (int j = 0; j < 3; ++j) {
+    geom::Vec a(3, 0.0);
+    a[j] = -1.0;
+    hs.emplace_back(a, 0.0);
+  }
+  auto inner = FindInnerBall(hs, 3, 1.0);
+  ASSERT_TRUE(inner.has_value());
+  VolumeOptions opts;
+  opts.epsilon = 0.08;
+  util::Rng rng(9);
+  VolumeEstimate est =
+      EstimateVolume(body, *inner, 1.0 + geom::Norm(inner->center), opts, rng);
+  double expected = geom::BallVolume(3) / 8.0;
+  EXPECT_NEAR(est.volume, expected, 0.2 * expected);
+}
+
+}  // namespace
+}  // namespace mudb::convex

@@ -1,0 +1,125 @@
+// Tests for the synthetic data generator.
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/datagen.h"
+
+namespace mudb::datagen {
+namespace {
+
+using model::Sort;
+using model::Value;
+
+TEST(GenerateRelationTest, RespectsSpecs) {
+  model::Database db;
+  util::Rng rng(1);
+  std::vector<ColumnSpec> cols(2);
+  cols[0].name = "k";
+  cols[0].sort = Sort::kBase;
+  cols[0].prefix = "k";
+  cols[0].cardinality = 4;
+  cols[1].name = "v";
+  cols[1].sort = Sort::kNum;
+  cols[1].lo = 10;
+  cols[1].hi = 20;
+  cols[1].decimals = 1;
+  ASSERT_TRUE(GenerateRelation(&db, "T", cols, 500, rng).ok());
+  const model::Relation* rel = db.GetRelation("T").value();
+  EXPECT_EQ(rel->size(), 500u);
+  for (const model::Tuple& t : rel->tuples()) {
+    EXPECT_EQ(t[0].sort(), Sort::kBase);
+    EXPECT_EQ(t[0].base_const().substr(0, 1), "k");
+    double v = t[1].num_const();
+    EXPECT_GE(v, 10.0);
+    EXPECT_LE(v, 20.0);
+  }
+}
+
+TEST(GenerateRelationTest, NullRateApproximatelyRespected) {
+  model::Database db;
+  util::Rng rng(2);
+  std::vector<ColumnSpec> cols(1);
+  cols[0].name = "v";
+  cols[0].sort = Sort::kNum;
+  cols[0].null_rate = 0.2;
+  ASSERT_TRUE(GenerateRelation(&db, "T", cols, 5000, rng).ok());
+  size_t nulls = db.CollectNumNullIds().size();
+  EXPECT_NEAR(static_cast<double>(nulls) / 5000.0, 0.2, 0.03);
+}
+
+TEST(SalesDatabaseTest, SizesAndSchema) {
+  SalesConfig config;
+  config.num_products = 1000;
+  config.num_orders = 600;
+  config.num_segments = 20;
+  config.null_rate = 0.1;
+  auto db = MakeSalesDatabase(config);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->GetRelation("Products").value()->size(), 1000u);
+  EXPECT_EQ(db->GetRelation("Orders").value()->size(), 600u);
+  EXPECT_EQ(db->GetRelation("Market").value()->size(), 20u);
+  EXPECT_EQ(db->TotalTuples(), 1620u);
+}
+
+TEST(SalesDatabaseTest, DeterministicGivenSeed) {
+  SalesConfig config;
+  config.num_products = 200;
+  config.num_orders = 100;
+  config.num_segments = 5;
+  config.seed = 99;
+  auto a = MakeSalesDatabase(config);
+  auto b = MakeSalesDatabase(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->ToString(), b->ToString());
+  config.seed = 100;
+  auto c = MakeSalesDatabase(config);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->ToString(), c->ToString());
+}
+
+TEST(SalesDatabaseTest, NullRateInExpectedBand) {
+  SalesConfig config;
+  config.num_products = 3000;
+  config.num_orders = 2000;
+  config.num_segments = 50;
+  config.null_rate = 0.05;
+  auto db = MakeSalesDatabase(config);
+  ASSERT_TRUE(db.ok());
+  // Numeric cells: 2 per product + 2 per order + 2 per market row.
+  double cells = 2.0 * (3000 + 2000 + 50);
+  double rate = db->CollectNumNullIds().size() / cells;
+  EXPECT_NEAR(rate, 0.05, 0.01);
+}
+
+TEST(SalesDatabaseTest, OrdersReferenceExistingProducts) {
+  SalesConfig config;
+  config.num_products = 50;
+  config.num_orders = 200;
+  config.num_segments = 5;
+  auto db = MakeSalesDatabase(config);
+  ASSERT_TRUE(db.ok());
+  for (const model::Tuple& t : db->GetRelation("Orders").value()->tuples()) {
+    const std::string& pr = t[1].base_const();
+    ASSERT_EQ(pr[0], 'p');
+    int idx = std::stoi(pr.substr(1));
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, 50);
+  }
+}
+
+TEST(CampaignDatabaseTest, MatchesThePaperExample) {
+  auto campaign = MakeCampaignDatabase();
+  ASSERT_TRUE(campaign.ok());
+  const model::Database& db = campaign->db;
+  EXPECT_EQ(db.GetRelation("Products").value()->size(), 2u);
+  EXPECT_EQ(db.GetRelation("Competition").value()->size(), 1u);
+  EXPECT_EQ(db.GetRelation("Excluded").value()->size(), 1u);
+  // Exactly two numeric nulls (α and α') and one base null (⊥'').
+  EXPECT_EQ(db.CollectNumNullIds().size(), 2u);
+  EXPECT_EQ(db.CollectBaseNullIds().size(), 1u);
+  EXPECT_NE(campaign->alpha, campaign->alpha_prime);
+}
+
+}  // namespace
+}  // namespace mudb::datagen

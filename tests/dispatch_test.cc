@@ -1,0 +1,228 @@
+// Tests for the measure-dispatch layer (ComputeNu / ComputeMeasure): engine
+// selection, exactness reporting, option validation, and the zero-one law of
+// [27] recovered for queries without numeric comparisons.
+
+#include <gtest/gtest.h>
+
+#include "src/engine/naive.h"
+#include "src/measure/measure.h"
+#include "src/measure/nu_exact.h"
+#include "src/util/rng.h"
+
+namespace mudb::measure {
+namespace {
+
+using constraints::CmpOp;
+using constraints::RealFormula;
+using logic::AtomArg;
+using logic::Formula;
+using logic::TypedVar;
+using model::Database;
+using model::RelationSchema;
+using model::Sort;
+using model::Value;
+using poly::Polynomial;
+
+Polynomial Z(int i) { return Polynomial::Variable(i); }
+
+TEST(DispatchTest, ConstantsAreExactUnderEveryMethod) {
+  for (Method m : {Method::kAuto, Method::kExactOrder, Method::kExact2D,
+                   Method::kAfpras, Method::kFpras}) {
+    MeasureOptions opts;
+    opts.method = m;
+    auto one = ComputeNu(RealFormula::True(), opts);
+    ASSERT_TRUE(one.ok());
+    EXPECT_TRUE(one->is_exact);
+    EXPECT_DOUBLE_EQ(one->value, 1.0);
+    auto zero = ComputeNu(RealFormula::False(), opts);
+    ASSERT_TRUE(zero.ok());
+    EXPECT_DOUBLE_EQ(zero->value, 0.0);
+  }
+}
+
+TEST(DispatchTest, AutoPrefersExact2DForTwoVariables) {
+  MeasureOptions opts;
+  std::vector<RealFormula> parts;
+  parts.push_back(RealFormula::Cmp(-Z(0), CmpOp::kLt));
+  parts.push_back(RealFormula::Cmp(-Z(1), CmpOp::kLt));
+  auto r = ComputeNu(RealFormula::And(parts), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->method_used, Method::kExact2D);
+  EXPECT_TRUE(r->is_exact);
+  EXPECT_NEAR(r->value, 0.25, 1e-9);
+}
+
+TEST(DispatchTest, AutoPrefersOrderEngineForOrderFormulas) {
+  MeasureOptions opts;
+  std::vector<RealFormula> parts;
+  parts.push_back(RealFormula::Cmp(Z(0) - Z(1), CmpOp::kLt));
+  parts.push_back(RealFormula::Cmp(Z(1) - Z(2), CmpOp::kLt));
+  parts.push_back(RealFormula::Cmp(Z(2) - Z(3), CmpOp::kLt));
+  auto r = ComputeNu(RealFormula::And(parts), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->method_used, Method::kExactOrder);
+  ASSERT_TRUE(r->exact_rational.has_value());
+  EXPECT_EQ(*r->exact_rational, util::Rational(1, 24));
+}
+
+TEST(DispatchTest, AutoFallsBackToAfprasForWideNonlinearFormulas) {
+  MeasureOptions opts;
+  opts.epsilon = 0.05;
+  std::vector<RealFormula> parts;
+  for (int i = 0; i < 3; ++i) {
+    parts.push_back(RealFormula::Cmp(Z(i) * Z(i + 1), CmpOp::kLt));
+  }
+  auto r = ComputeNu(RealFormula::And(parts), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->method_used, Method::kAfpras);
+  EXPECT_FALSE(r->is_exact);
+  EXPECT_GT(r->samples, 0);
+}
+
+TEST(DispatchTest, ForcedMethodRejectsOutOfScopeFormulas) {
+  // 4-variable nonlinear formula cannot run on the 2-D or order engines.
+  std::vector<RealFormula> parts;
+  for (int i = 0; i < 3; ++i) {
+    parts.push_back(RealFormula::Cmp(Z(i) * Z(i + 1), CmpOp::kLt));
+  }
+  RealFormula f = RealFormula::And(parts);
+  MeasureOptions opts;
+  opts.method = Method::kExact2D;
+  EXPECT_FALSE(ComputeNu(f, opts).ok());
+  opts.method = Method::kExactOrder;
+  EXPECT_FALSE(ComputeNu(f, opts).ok());
+  opts.method = Method::kFpras;  // nonlinear
+  EXPECT_FALSE(ComputeNu(f, opts).ok());
+}
+
+TEST(DispatchTest, NumThreadsPlumbedThrough) {
+  MeasureOptions opts;
+  opts.method = Method::kAfpras;
+  opts.epsilon = 0.01;
+  opts.num_threads = 4;
+  auto r = ComputeNu(RealFormula::Cmp(Z(0) - Z(1), CmpOp::kLt), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->value, 0.5, 0.02);
+}
+
+// ---- The zero-one law of [27], recovered ------------------------------------
+//
+// For queries whose arithmetic never touches a null (in particular queries
+// with no numeric comparisons at all), μ ∈ {0, 1}, and μ = 1 iff naive
+// evaluation returns the tuple — the base-only framework the paper
+// generalizes (§2 and the Remark in §4).
+
+TEST(ZeroOneLawTest, BaseOnlyQueriesAreZeroOne) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation(RelationSchema("R", {{"a", Sort::kBase},
+                                                     {"b", Sort::kBase}}))
+                  .ok());
+  Value bot1 = db.MakeBaseNull();
+  Value bot2 = db.MakeBaseNull();
+  ASSERT_TRUE(db.Insert("R", {bot1, bot2}).ok());
+  ASSERT_TRUE(db.Insert("R", {Value::BaseConst("c"), bot1}).ok());
+
+  // q(x) = ∃y R(x, y).
+  Formula f = Formula::Exists(
+      TypedVar{"y", Sort::kBase},
+      Formula::Rel("R", {AtomArg::BaseVar("x"), AtomArg::BaseVar("y")}));
+  auto q = logic::Query::MakeWithOutput(f, {TypedVar{"x", Sort::kBase}}, db);
+  ASSERT_TRUE(q.ok());
+
+  MeasureOptions opts;
+  // Candidates returned by naive evaluation (nulls as fresh constants) get
+  // μ = 1; others 0.
+  for (const auto& [cand, expected] :
+       std::vector<std::pair<Value, double>>{{bot1, 1.0},
+                                             {Value::BaseConst("c"), 1.0},
+                                             {bot2, 0.0},
+                                             {Value::BaseConst("z"), 0.0}}) {
+    auto mu = ComputeMeasure(*q, db, {cand}, opts);
+    ASSERT_TRUE(mu.ok()) << mu.status();
+    EXPECT_TRUE(mu->is_exact);
+    EXPECT_DOUBLE_EQ(mu->value, expected) << cand.ToString();
+  }
+}
+
+TEST(ZeroOneLawTest, MatchesNaiveEvaluationUnderBijectiveValuation) {
+  // Randomized: base-only databases with nulls; μ of each candidate equals
+  // membership in the naive evaluation of the valuated (complete) database.
+  util::Rng rng(5);
+  for (int iter = 0; iter < 10; ++iter) {
+    Database db;
+    ASSERT_TRUE(db.CreateRelation(RelationSchema("R", {{"a", Sort::kBase},
+                                                       {"b", Sort::kBase}}))
+                    .ok());
+    ASSERT_TRUE(db.CreateRelation(RelationSchema("S", {{"b", Sort::kBase}}))
+                    .ok());
+    std::vector<Value> pool{Value::BaseConst("u"), Value::BaseConst("v"),
+                            db.MakeBaseNull(), db.MakeBaseNull()};
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(db.Insert("R", {pool[rng.UniformInt(0, 3)],
+                                  pool[rng.UniformInt(0, 3)]})
+                      .ok());
+    }
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_TRUE(db.Insert("S", {pool[rng.UniformInt(0, 3)]}).ok());
+    }
+    // q(x) = ∃y R(x, y) && ¬S(y)   (an FO query, not a CQ).
+    Formula f = Formula::Exists(
+        TypedVar{"y", Sort::kBase},
+        Formula::And([] {
+          std::vector<Formula> v;
+          v.push_back(Formula::Rel("R", {AtomArg::BaseVar("x"),
+                                         AtomArg::BaseVar("y")}));
+          v.push_back(Formula::Not(
+              Formula::Rel("S", {AtomArg::BaseVar("y")})));
+          return v;
+        }()));
+    auto q = logic::Query::MakeWithOutput(f, {TypedVar{"x", Sort::kBase}},
+                                          db);
+    ASSERT_TRUE(q.ok());
+
+    // Extend the valuation over pool nulls that never made it into the
+    // database, mirroring what the grounding does for candidates.
+    std::vector<model::NullId> extra;
+    for (const Value& v : pool) {
+      if (v.is_null()) extra.push_back(v.null_id());
+    }
+    model::Valuation vbase =
+        model::MakeBijectiveBaseValuation(db, "@null_", extra);
+    Database complete = vbase.Apply(db);
+    MeasureOptions opts;
+    for (const Value& cand : pool) {
+      auto mu = ComputeMeasure(*q, db, {cand}, opts);
+      ASSERT_TRUE(mu.ok());
+      auto naive =
+          engine::NaiveHolds(*q, complete, {vbase.Apply(cand)});
+      ASSERT_TRUE(naive.ok()) << naive.status();
+      EXPECT_DOUBLE_EQ(mu->value, *naive ? 1.0 : 0.0)
+          << "iter " << iter << " cand " << cand.ToString();
+    }
+  }
+}
+
+TEST(DispatchTest, NumericNullCandidateValue) {
+  // Candidates may carry numeric nulls (the permissive semantics of [28]):
+  // q(y) = R(y) with R = {(⊤)} and candidate ⊤ itself is certain.
+  Database db;
+  ASSERT_TRUE(
+      db.CreateRelation(RelationSchema("R", {{"x", Sort::kNum}})).ok());
+  Value top = db.MakeNumNull();
+  ASSERT_TRUE(db.Insert("R", {top}).ok());
+  Formula f = Formula::Rel("R", {AtomArg::NumVar("y")});
+  auto q = logic::Query::Make(f, db);
+  ASSERT_TRUE(q.ok());
+  MeasureOptions opts;
+  auto mu = ComputeMeasure(*q, db, {top}, opts);
+  ASSERT_TRUE(mu.ok());
+  EXPECT_DOUBLE_EQ(mu->value, 1.0);
+  // A *different* null (not in the database) only matches on a measure-zero
+  // set.
+  auto other = ComputeMeasure(*q, db, {Value::NumNull(999)}, opts);
+  ASSERT_TRUE(other.ok());
+  EXPECT_DOUBLE_EQ(other->value, 0.0);
+}
+
+}  // namespace
+}  // namespace mudb::measure

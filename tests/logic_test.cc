@@ -1,0 +1,228 @@
+// Tests for src/logic: terms, formulae, typechecking, fragments, queries.
+
+#include <gtest/gtest.h>
+
+#include "src/logic/formula.h"
+#include "src/logic/term.h"
+#include "src/model/database.h"
+
+namespace mudb::logic {
+namespace {
+
+using model::Database;
+using model::RelationSchema;
+using model::Sort;
+using model::Value;
+
+Database SalesDb() {
+  Database db;
+  MUDB_CHECK(db.CreateRelation(RelationSchema("R", {{"a", Sort::kBase},
+                                                    {"x", Sort::kNum}}))
+                 .ok());
+  MUDB_CHECK(db.CreateRelation(RelationSchema("S", {{"x", Sort::kNum},
+                                                    {"y", Sort::kNum}}))
+                 .ok());
+  return db;
+}
+
+TEST(TermTest, BuildAndPrint) {
+  Term t = Term::Add(Term::Mul(Term::Var("x"), Term::Const(2)),
+                     Term::Neg(Term::Var("y")));
+  EXPECT_EQ(t.kind(), Term::Kind::kAdd);
+  std::set<std::string> vars;
+  t.CollectVariables(&vars);
+  EXPECT_EQ(vars, (std::set<std::string>{"x", "y"}));
+  EXPECT_EQ(t.ToString(), "((x * 2) + -(y))");
+}
+
+TEST(TermTest, OperatorSugar) {
+  Term t = Term::Var("x") + Term::Var("y") * Term::Const(3) - Term::Var("z");
+  std::set<std::string> vars;
+  t.CollectVariables(&vars);
+  EXPECT_EQ(vars.size(), 3u);
+}
+
+TEST(FormulaTest, FreeVariablesRespectQuantifiers) {
+  // ∃y:num. R(a, y) && y < x   — free: a (base), x (num).
+  Formula f = Formula::Exists(
+      TypedVar{"y", Sort::kNum},
+      Formula::And([] {
+        std::vector<Formula> v;
+        v.push_back(Formula::Rel("R", {AtomArg::BaseVar("a"),
+                                       AtomArg::NumVar("y")}));
+        v.push_back(Formula::Cmp(Term::Var("y"), CmpOp::kLt, Term::Var("x")));
+        return v;
+      }()));
+  auto free = f.FreeVariables();
+  ASSERT_EQ(free.size(), 2u);
+  EXPECT_EQ(free.at("a"), Sort::kBase);
+  EXPECT_EQ(free.at("x"), Sort::kNum);
+}
+
+TEST(FormulaTest, ShadowingInNestedQuantifiers) {
+  // ∃x. (R(a, x) && ∃x. S(x, x)) — all x bound.
+  Formula inner = Formula::Exists(
+      TypedVar{"x", Sort::kNum},
+      Formula::Rel("S", {AtomArg::NumVar("x"), AtomArg::NumVar("x")}));
+  Formula f = Formula::Exists(
+      TypedVar{"x", Sort::kNum},
+      Formula::And([&] {
+        std::vector<Formula> v;
+        v.push_back(Formula::Rel("R", {AtomArg::BaseVar("a"),
+                                       AtomArg::NumVar("x")}));
+        v.push_back(inner);
+        return v;
+      }()));
+  auto free = f.FreeVariables();
+  ASSERT_EQ(free.size(), 1u);
+  EXPECT_EQ(free.begin()->first, "a");
+}
+
+TEST(FormulaTest, TypecheckAcceptsWellFormed) {
+  Database db = SalesDb();
+  Formula f = Formula::Exists(
+      TypedVar{"y", Sort::kNum},
+      Formula::Rel("S", {AtomArg::NumVar("y"), AtomArg::NumConst(1.0)}));
+  EXPECT_TRUE(f.Typecheck(db).ok());
+}
+
+TEST(FormulaTest, TypecheckRejectsUnknownRelation) {
+  Database db = SalesDb();
+  Formula f = Formula::Rel("Nope", {AtomArg::NumVar("y")});
+  EXPECT_FALSE(f.Typecheck(db).ok());
+}
+
+TEST(FormulaTest, TypecheckRejectsArityMismatch) {
+  Database db = SalesDb();
+  Formula f = Formula::Rel("S", {AtomArg::NumVar("y")});
+  EXPECT_FALSE(f.Typecheck(db).ok());
+}
+
+TEST(FormulaTest, TypecheckRejectsSortMismatch) {
+  Database db = SalesDb();
+  // First column of R is base, passing a numeric term.
+  Formula f = Formula::Rel("R", {AtomArg::NumVar("y"), AtomArg::NumVar("z")});
+  EXPECT_FALSE(f.Typecheck(db).ok());
+}
+
+TEST(FormulaTest, TypecheckRejectsVariableUsedWithTwoSorts) {
+  Database db = SalesDb();
+  // v used as base in R and numeric in a comparison.
+  Formula f = Formula::And([] {
+    std::vector<Formula> v;
+    v.push_back(Formula::Rel("R", {AtomArg::BaseVar("v"),
+                                   AtomArg::NumVar("x")}));
+    v.push_back(Formula::Cmp(Term::Var("v"), CmpOp::kLt, Term::Const(1)));
+    return v;
+  }());
+  EXPECT_FALSE(f.Typecheck(db).ok());
+}
+
+TEST(FormulaTest, TypecheckAllowsShadowedSortChange) {
+  Database db = SalesDb();
+  // x is numeric outside, base inside a quantifier that shadows it.
+  Formula f = Formula::And([] {
+    std::vector<Formula> v;
+    v.push_back(Formula::Cmp(Term::Var("x"), CmpOp::kLt, Term::Const(0)));
+    v.push_back(Formula::Exists(
+        TypedVar{"x", Sort::kBase},
+        Formula::Rel("R", {AtomArg::BaseVar("x"), AtomArg::NumConst(0)})));
+    return v;
+  }());
+  EXPECT_TRUE(f.Typecheck(db).ok());
+}
+
+TEST(FormulaTest, ConjunctiveDetection) {
+  Formula cq = Formula::Exists(
+      TypedVar{"y", Sort::kNum},
+      Formula::And([] {
+        std::vector<Formula> v;
+        v.push_back(Formula::Rel("S", {AtomArg::NumVar("y"),
+                                       AtomArg::NumVar("z")}));
+        v.push_back(Formula::Cmp(Term::Var("y"), CmpOp::kLt, Term::Var("z")));
+        return v;
+      }()));
+  EXPECT_TRUE(cq.IsConjunctive());
+  EXPECT_FALSE(Formula::Not(cq).IsConjunctive());
+  EXPECT_FALSE(Formula::Forall(TypedVar{"y", Sort::kNum}, cq).IsConjunctive());
+  std::vector<Formula> two{cq, cq};
+  EXPECT_FALSE(Formula::Or(two).IsConjunctive());
+}
+
+TEST(FormulaTest, FragmentNames) {
+  Formula order = Formula::Cmp(Term::Var("x"), CmpOp::kLt, Term::Var("y"));
+  EXPECT_EQ(order.FragmentName(), "CQ(<)");
+  Formula linear =
+      Formula::Cmp(Term::Var("x") + Term::Var("y"), CmpOp::kLt,
+                   Term::Const(1));
+  EXPECT_EQ(linear.FragmentName(), "CQ(+,<)");
+  Formula poly = Formula::Cmp(Term::Var("x") * Term::Var("y"), CmpOp::kLt,
+                              Term::Const(1));
+  EXPECT_EQ(poly.FragmentName(), "CQ(+,\xC2\xB7,<)");
+  EXPECT_EQ(Formula::Not(order).FragmentName(), "FO(<)");
+}
+
+TEST(FormulaTest, ImpliesDesugarsToOrNot) {
+  Formula a = Formula::Cmp(Term::Var("x"), CmpOp::kLt, Term::Const(0));
+  Formula b = Formula::Cmp(Term::Var("y"), CmpOp::kGt, Term::Const(0));
+  Formula f = Formula::Implies(a, b);
+  EXPECT_EQ(f.kind(), Formula::Kind::kOr);
+  EXPECT_EQ(f.children()[0].kind(), Formula::Kind::kNot);
+}
+
+TEST(FormulaTest, ExistsManyOrdering) {
+  Formula body = Formula::Cmp(Term::Var("a"), CmpOp::kLt, Term::Var("b"));
+  Formula f = Formula::ExistsMany(
+      {TypedVar{"a", Sort::kNum}, TypedVar{"b", Sort::kNum}}, body);
+  ASSERT_EQ(f.kind(), Formula::Kind::kExists);
+  EXPECT_EQ(f.quantified_var().name, "a");
+  EXPECT_EQ(f.children()[0].quantified_var().name, "b");
+  EXPECT_TRUE(f.FreeVariables().empty());
+}
+
+TEST(QueryTest, MakeCollectsOutputsInNameOrder) {
+  Database db = SalesDb();
+  Formula f = Formula::Rel("S", {AtomArg::NumVar("y"), AtomArg::NumVar("x")});
+  auto q = Query::Make(f, db);
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->output.size(), 2u);
+  EXPECT_EQ(q->output[0].name, "x");
+  EXPECT_EQ(q->output[1].name, "y");
+  EXPECT_FALSE(q->IsBoolean());
+}
+
+TEST(QueryTest, MakeWithOutputValidates) {
+  Database db = SalesDb();
+  Formula f = Formula::Rel("S", {AtomArg::NumVar("y"), AtomArg::NumVar("x")});
+  auto ok = Query::MakeWithOutput(
+      f, {TypedVar{"y", Sort::kNum}, TypedVar{"x", Sort::kNum}}, db);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->output[0].name, "y");
+  // Missing variable.
+  EXPECT_FALSE(
+      Query::MakeWithOutput(f, {TypedVar{"y", Sort::kNum}}, db).ok());
+  // Not a free variable.
+  EXPECT_FALSE(Query::MakeWithOutput(
+                   f, {TypedVar{"y", Sort::kNum}, TypedVar{"z", Sort::kNum}},
+                   db)
+                   .ok());
+  // Wrong sort.
+  EXPECT_FALSE(Query::MakeWithOutput(
+                   f, {TypedVar{"y", Sort::kBase}, TypedVar{"x", Sort::kNum}},
+                   db)
+                   .ok());
+}
+
+TEST(QueryTest, BooleanQueryToString) {
+  Database db = SalesDb();
+  Formula f = Formula::ExistsMany(
+      {TypedVar{"x", Sort::kNum}, TypedVar{"y", Sort::kNum}},
+      Formula::Rel("S", {AtomArg::NumVar("x"), AtomArg::NumVar("y")}));
+  auto q = Query::Make(f, db);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->IsBoolean());
+  EXPECT_EQ(q->ToString().substr(0, 4), "q() ");
+}
+
+}  // namespace
+}  // namespace mudb::logic

@@ -1,0 +1,129 @@
+// Tests for the simplex LP solver.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/lp/simplex.h"
+#include "src/util/rng.h"
+
+namespace mudb::lp {
+namespace {
+
+TEST(SimplexTest, SimpleTwoVariableMax) {
+  // max x + y s.t. x <= 2, y <= 3, x + y <= 4.
+  LpResult r = SolveLp({{1, 0}, {0, 1}, {1, 1}}, {2, 3, 4}, {1, 1});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 4.0, 1e-9);
+}
+
+TEST(SimplexTest, FreeVariablesGoNegative) {
+  // max -x s.t. -x <= 5  ⇒ x = -5, objective 5.
+  LpResult r = SolveLp({{-1}}, {5}, {-1});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], -5.0, 1e-9);
+  EXPECT_NEAR(r.objective, 5.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  // max x s.t. -x <= 0  (x >= 0, unbounded above).
+  LpResult r = SolveLp({{-1}}, {0}, {1});
+  EXPECT_EQ(r.status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  // x <= -1 and -x <= -1 (x >= 1): empty.
+  LpResult r = SolveLp({{1}, {-1}}, {-1, -1}, {0});
+  EXPECT_EQ(r.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, NegativeRhsNeedsPhaseOne) {
+  // max -x - y s.t. -x <= -2 (x >= 2), -y <= -1 (y >= 1).
+  LpResult r = SolveLp({{-1, 0}, {0, -1}}, {-2, -1}, {-1, -1});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-9);
+  EXPECT_NEAR(r.objective, -3.0, 1e-9);
+}
+
+TEST(SimplexTest, EqualityViaTwoInequalities) {
+  // x + y = 1 encoded as <= and >=; max x s.t. additionally x <= 0.25.
+  LpResult r = SolveLp({{1, 1}, {-1, -1}, {1, 0}}, {1, -1, 0.25}, {1, 0});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 0.25, 1e-9);
+  EXPECT_NEAR(r.x[0] + r.x[1], 1.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateConstraintsTerminate) {
+  // Redundant constraints around the same vertex (degeneracy): Bland's rule
+  // must still terminate.
+  LpResult r = SolveLp({{1, 0}, {1, 0}, {0, 1}, {1, 1}, {1, 1}},
+                       {1, 1, 1, 2, 2}, {1, 1});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-9);
+}
+
+TEST(SimplexTest, IsFeasibleHelper) {
+  EXPECT_TRUE(IsFeasible({{1}, {-1}}, {1, 1}, 1));        // -1 <= x <= 1
+  EXPECT_FALSE(IsFeasible({{1}, {-1}}, {-2, 1}, 1));      // x <= -2, x >= -1
+}
+
+TEST(SimplexTest, ZeroConstraintsIsFeasibleOrigin) {
+  LpResult r = SolveLp({}, {}, {0.0, 0.0});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 0.0, 1e-12);
+}
+
+// Property: random LPs with a planted feasible point are feasible, the
+// returned optimum satisfies all constraints, and is at least as good as the
+// planted point.
+class SimplexPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexPropertyTest, RandomFeasibleLps) {
+  util::Rng rng(GetParam());
+  for (int iter = 0; iter < 100; ++iter) {
+    int n = static_cast<int>(rng.UniformInt(1, 4));
+    int m = static_cast<int>(rng.UniformInt(1, 6));
+    std::vector<double> planted(n);
+    for (double& v : planted) v = rng.Uniform(-2, 2);
+    std::vector<std::vector<double>> a(m, std::vector<double>(n));
+    std::vector<double> b(m);
+    for (int i = 0; i < m; ++i) {
+      double ax = 0;
+      for (int j = 0; j < n; ++j) {
+        a[i][j] = rng.Uniform(-1, 1);
+        ax += a[i][j] * planted[j];
+      }
+      b[i] = ax + rng.Uniform(0, 1);  // slack keeps planted feasible
+    }
+    // Bound the feasible region so the LP cannot be unbounded.
+    for (int j = 0; j < n; ++j) {
+      std::vector<double> up(n, 0.0), down(n, 0.0);
+      up[j] = 1;
+      down[j] = -1;
+      a.push_back(up);
+      b.push_back(10.0);
+      a.push_back(down);
+      b.push_back(10.0);
+    }
+    std::vector<double> c(n);
+    for (double& v : c) v = rng.Uniform(-1, 1);
+
+    LpResult r = SolveLp(a, b, c);
+    ASSERT_EQ(r.status, LpStatus::kOptimal) << "iter " << iter;
+    for (size_t i = 0; i < a.size(); ++i) {
+      double ax = 0;
+      for (int j = 0; j < n; ++j) ax += a[i][j] * r.x[j];
+      EXPECT_LE(ax, b[i] + 1e-6) << "constraint " << i;
+    }
+    double planted_obj = 0;
+    for (int j = 0; j < n; ++j) planted_obj += c[j] * planted[j];
+    EXPECT_GE(r.objective, planted_obj - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexPropertyTest,
+                         ::testing::Values(10, 20, 30, 40));
+
+}  // namespace
+}  // namespace mudb::lp

@@ -1,0 +1,261 @@
+// Tests for the exact measure engines: NuExactOrder (Prop. 6.2's rational
+// values) and NuExact2D (Prop. 6.1's arctan closed forms).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/measure/afpras.h"
+#include "src/measure/nu_exact.h"
+#include "src/util/rng.h"
+
+namespace mudb::measure {
+namespace {
+
+using constraints::CmpOp;
+using constraints::RealFormula;
+using poly::Polynomial;
+using util::Rational;
+
+Polynomial Z(int i) { return Polynomial::Variable(i); }
+Polynomial C(double c) { return Polynomial::Constant(c); }
+
+RealFormula Lt(Polynomial p) { return RealFormula::Cmp(std::move(p), CmpOp::kLt); }
+RealFormula Gt(Polynomial p) { return RealFormula::Cmp(std::move(p), CmpOp::kGt); }
+
+TEST(OrderDetectionTest, RecognizesOrderAtoms) {
+  EXPECT_TRUE(IsOrderFormula(Lt(Z(0) - Z(1))));
+  EXPECT_TRUE(IsOrderFormula(Lt(Z(0) - C(5))));
+  EXPECT_TRUE(IsOrderFormula(Lt(C(2) * Z(0) - C(2) * Z(1) + C(1))));
+  EXPECT_FALSE(IsOrderFormula(Lt(Z(0) - C(2) * Z(1))));  // scaled difference
+  EXPECT_FALSE(IsOrderFormula(Lt(Z(0) + Z(1))));         // a sum, not an order
+  EXPECT_FALSE(IsOrderFormula(Lt(Z(0) * Z(1))));         // nonlinear
+}
+
+TEST(NuExactOrderTest, SingleSignConstraint) {
+  auto v = NuExactOrder(Gt(Z(0)));  // z > 0
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Rational(1, 2));
+}
+
+TEST(NuExactOrderTest, TwoVariableChain) {
+  // z0 < z1: half of all orderings.
+  auto v = NuExactOrder(Lt(Z(0) - Z(1)));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Rational(1, 2));
+}
+
+TEST(NuExactOrderTest, ThreeChainIsOneSixth) {
+  std::vector<RealFormula> parts;
+  parts.push_back(Lt(Z(0) - Z(1)));
+  parts.push_back(Lt(Z(1) - Z(2)));
+  auto v = NuExactOrder(RealFormula::And(parts));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Rational(1, 6));
+}
+
+TEST(NuExactOrderTest, PositivityOfKVariables) {
+  for (int k = 1; k <= 5; ++k) {
+    std::vector<RealFormula> parts;
+    for (int i = 0; i < k; ++i) parts.push_back(Gt(Z(i)));
+    auto v = NuExactOrder(RealFormula::And(parts));
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, Rational(1, int64_t{1} << k)) << "k=" << k;
+  }
+}
+
+TEST(NuExactOrderTest, SignAndOrderCombined) {
+  // 0 < z0 < z1: a quarter of sign space, half of the orders given both
+  // positive: 1/8.
+  std::vector<RealFormula> parts;
+  parts.push_back(Gt(Z(0)));
+  parts.push_back(Gt(Z(1)));
+  parts.push_back(Lt(Z(0) - Z(1)));
+  auto v = NuExactOrder(RealFormula::And(parts));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Rational(1, 8));
+}
+
+TEST(NuExactOrderTest, ComplementSumsToOne) {
+  std::vector<RealFormula> parts;
+  parts.push_back(Gt(Z(0)));
+  parts.push_back(Lt(Z(1) - Z(2)));
+  RealFormula f = RealFormula::And(parts);
+  auto v = NuExactOrder(f);
+  auto nv = NuExactOrder(RealFormula::Not(f).ToNnf());
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(nv.ok());
+  EXPECT_EQ(*v + *nv, Rational(1));
+}
+
+TEST(NuExactOrderTest, EqualityAtomsHaveMeasureZero) {
+  auto v = NuExactOrder(RealFormula::Cmp(Z(0) - Z(1), CmpOp::kEq));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Rational(0));
+  auto nv = NuExactOrder(RealFormula::Cmp(Z(0) - Z(1), CmpOp::kNeq));
+  ASSERT_TRUE(nv.ok());
+  EXPECT_EQ(*nv, Rational(1));
+}
+
+TEST(NuExactOrderTest, ConstantOffsetsDoNotMatterAsymptotically) {
+  // z0 < z1 + 100 has the same asymptotic measure as z0 < z1.
+  auto v = NuExactOrder(Lt(Z(0) - Z(1) - C(100)));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Rational(1, 2));
+}
+
+TEST(NuExactOrderTest, RejectsNonOrderFormulas) {
+  EXPECT_FALSE(NuExactOrder(Lt(Z(0) + Z(1))).ok());
+  EXPECT_FALSE(NuExactOrder(Lt(Z(0) * Z(1))).ok());
+}
+
+TEST(NuExactOrderTest, VariableLimitGuard) {
+  std::vector<RealFormula> parts;
+  for (int i = 0; i < 12; ++i) parts.push_back(Gt(Z(i)));
+  auto v = NuExactOrder(RealFormula::And(parts), /*max_vars=*/8);
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), util::StatusCode::kResourceExhausted);
+}
+
+TEST(NuExactOrderTest, AgreesWithSamplingOnRandomOrderFormulas) {
+  util::Rng rng(77);
+  for (int iter = 0; iter < 10; ++iter) {
+    // Random order formula on 4 variables.
+    std::vector<RealFormula> parts;
+    for (int i = 0; i < 4; ++i) {
+      int a = static_cast<int>(rng.UniformInt(0, 3));
+      int b = static_cast<int>(rng.UniformInt(0, 3));
+      RealFormula atom = (a == b) ? Gt(Z(a)) : Lt(Z(a) - Z(b));
+      if (rng.Bernoulli(0.3)) atom = RealFormula::Not(atom);
+      parts.push_back(atom);
+    }
+    RealFormula f = rng.Bernoulli(0.5) ? RealFormula::And(parts)
+                                       : RealFormula::Or(parts);
+    auto exact = NuExactOrder(f);
+    ASSERT_TRUE(exact.ok());
+    AfprasOptions opts;
+    opts.num_samples = 200000;
+    util::Rng sample_rng(iter);
+    auto approx = Afpras(f, opts, sample_rng);
+    ASSERT_TRUE(approx.ok());
+    EXPECT_NEAR(exact->ToDouble(), approx->estimate, 0.01) << "iter " << iter;
+  }
+}
+
+// ---- NuExact2D --------------------------------------------------------------
+
+TEST(NuExact2DTest, ConstantsAndHalfplane) {
+  auto t = NuExact2D(RealFormula::True());
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(*t, 1.0);
+  auto h = NuExact2D(Lt(Z(0)));
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(*h, 0.5, 1e-9);
+}
+
+TEST(NuExact2DTest, OneVariableCases) {
+  auto v = NuExact2D(Gt(Z(0)));
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(*v, 0.5, 1e-12);
+  // z0 != 0 is asymptotically true in both directions.
+  auto nz = NuExact2D(RealFormula::Cmp(Z(0), CmpOp::kNeq));
+  ASSERT_TRUE(nz.ok());
+  EXPECT_NEAR(*nz, 1.0, 1e-12);
+}
+
+TEST(NuExact2DTest, QuadrantIsQuarter) {
+  std::vector<RealFormula> parts;
+  parts.push_back(Gt(Z(0)));
+  parts.push_back(Gt(Z(1)));
+  auto v = NuExact2D(RealFormula::And(parts));
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(*v, 0.25, 1e-9);
+}
+
+TEST(NuExact2DTest, Proposition61ArctanFormula) {
+  // q = ∃x,y R(x,y) && x >= 0 && y <= α·x grounds to
+  // z0 >= 0 && z1 - α z0 <= 0 with μ = arctan(α)/2π + 1/4 + ... —
+  // the paper's closed form is arctan(α)/2π + 1/2 for the full formula
+  // including the region x >= 0; verify against direct angle integration:
+  // directions with cos θ >= 0 and sin θ <= α cos θ.
+  for (double alpha : {-2.0, -1.0, -0.3, 0.0, 0.5, 1.0, 3.0}) {
+    std::vector<RealFormula> parts;
+    parts.push_back(RealFormula::Cmp(-Z(0), CmpOp::kLe));          // x >= 0
+    parts.push_back(RealFormula::Cmp(Z(1) - C(alpha) * Z(0),
+                                     CmpOp::kLe));                 // y <= αx
+    auto v = NuExact2D(RealFormula::And(parts));
+    ASSERT_TRUE(v.ok());
+    // Angle range: θ ∈ [-π/2, arctan(α)]: length arctan(α) + π/2.
+    double expected = (std::atan(alpha) + M_PI / 2) / (2 * M_PI);
+    EXPECT_NEAR(*v, expected, 1e-9) << "alpha=" << alpha;
+  }
+}
+
+TEST(NuExact2DTest, NonlinearParabolaHasMeasureZeroAbove) {
+  // z1 > z0^2: only the direction (0, +1) survives asymptotically.
+  auto v = NuExact2D(Gt(Z(1) - Z(0) * Z(0)));
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(*v, 0.0, 1e-9);
+  // The complement has full measure.
+  auto nv = NuExact2D(RealFormula::Cmp(Z(1) - Z(0) * Z(0), CmpOp::kLe));
+  ASSERT_TRUE(nv.ok());
+  EXPECT_NEAR(*nv, 1.0, 1e-9);
+}
+
+TEST(NuExact2DTest, ProductPositiveIsHalf) {
+  // z0 · z1 > 0: quadrants 1 and 3.
+  auto v = NuExact2D(Gt(Z(0) * Z(1)));
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(*v, 0.5, 1e-9);
+}
+
+TEST(NuExact2DTest, CubicSectorBoundaries) {
+  // z1^3 < z0^3 ⟺ z1 < z0: half the circle, with a degree-3 boundary.
+  auto v = NuExact2D(
+      Lt(Z(1) * Z(1) * Z(1) - Z(0) * Z(0) * Z(0)));
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(*v, 0.5, 1e-9);
+}
+
+TEST(NuExact2DTest, RejectsThreeUsedVariables) {
+  std::vector<RealFormula> parts;
+  parts.push_back(Gt(Z(0)));
+  parts.push_back(Gt(Z(1)));
+  parts.push_back(Gt(Z(2)));
+  auto v = NuExact2D(RealFormula::And(parts));
+  EXPECT_FALSE(v.ok());
+}
+
+TEST(NuExact2DTest, SparseVariableIndicesAreCompacted) {
+  // Two *used* variables with sparse indices are fine.
+  std::vector<RealFormula> parts;
+  parts.push_back(Gt(Z(0)));
+  parts.push_back(Gt(Z(5)));
+  auto v = NuExact2D(RealFormula::And(parts));
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(*v, 0.25, 1e-9);
+}
+
+TEST(NuExact2DTest, AgreesWithOrderEngineOnOrderFormulas) {
+  util::Rng rng(31);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<RealFormula> parts;
+    for (int i = 0; i < 3; ++i) {
+      RealFormula atom = rng.Bernoulli(0.5) ? Gt(Z(rng.UniformInt(0, 1)))
+                                            : Lt(Z(0) - Z(1));
+      if (rng.Bernoulli(0.4)) atom = RealFormula::Not(atom);
+      parts.push_back(atom);
+    }
+    RealFormula f = rng.Bernoulli(0.5) ? RealFormula::And(parts)
+                                       : RealFormula::Or(parts);
+    auto via_order = NuExactOrder(f);
+    auto via_2d = NuExact2D(f);
+    if (f.is_constant()) continue;
+    ASSERT_TRUE(via_order.ok());
+    ASSERT_TRUE(via_2d.ok());
+    EXPECT_NEAR(via_order->ToDouble(), *via_2d, 1e-9) << "iter " << iter;
+  }
+}
+
+}  // namespace
+}  // namespace mudb::measure

@@ -1,0 +1,129 @@
+// Tests for the Z3-backed exactness oracle and the μ=0/μ=1 shortcuts.
+
+#include <gtest/gtest.h>
+
+#include "src/measure/measure.h"
+#include "src/measure/oracle.h"
+
+namespace mudb::measure {
+namespace {
+
+using constraints::CmpOp;
+using constraints::RealFormula;
+using poly::Polynomial;
+
+Polynomial Z(int i) { return Polynomial::Variable(i); }
+Polynomial C(double c) { return Polynomial::Constant(c); }
+
+#if MUDB_HAVE_Z3
+
+TEST(OracleTest, IsAvailable) { EXPECT_TRUE(OracleAvailable()); }
+
+TEST(OracleTest, SatisfiableLinear) {
+  auto sat = OracleIsSatisfiable(RealFormula::Cmp(Z(0) - C(5), CmpOp::kLt));
+  ASSERT_TRUE(sat.ok()) << sat.status();
+  EXPECT_TRUE(*sat);
+}
+
+TEST(OracleTest, UnsatisfiableConjunction) {
+  std::vector<RealFormula> parts;
+  parts.push_back(RealFormula::Cmp(Z(0), CmpOp::kLt));
+  parts.push_back(RealFormula::Cmp(-Z(0), CmpOp::kLt));
+  auto sat = OracleIsSatisfiable(RealFormula::And(parts));
+  ASSERT_TRUE(sat.ok()) << sat.status();
+  EXPECT_FALSE(*sat);
+}
+
+TEST(OracleTest, NonlinearUnsat) {
+  // z0² < 0 has no real solution.
+  auto sat = OracleIsSatisfiable(RealFormula::Cmp(Z(0) * Z(0), CmpOp::kLt));
+  ASSERT_TRUE(sat.ok()) << sat.status();
+  EXPECT_FALSE(*sat);
+}
+
+TEST(OracleTest, ValidityOfSquareNonNegative) {
+  // z0² >= 0 is valid over R.
+  auto valid = OracleIsValid(RealFormula::Cmp(Z(0) * Z(0), CmpOp::kGe));
+  ASSERT_TRUE(valid.ok()) << valid.status();
+  EXPECT_TRUE(*valid);
+  // z0 >= 0 is not valid.
+  auto not_valid = OracleIsValid(RealFormula::Cmp(Z(0), CmpOp::kGe));
+  ASSERT_TRUE(not_valid.ok());
+  EXPECT_FALSE(*not_valid);
+}
+
+TEST(OracleTest, ShortcutsFeedComputeNu) {
+  MeasureOptions opts;
+  opts.use_z3_shortcuts = true;
+  // Unsatisfiable: μ = 0 exactly, no sampling.
+  std::vector<RealFormula> parts;
+  parts.push_back(RealFormula::Cmp(Z(0), CmpOp::kLt));
+  parts.push_back(RealFormula::Cmp(-Z(0), CmpOp::kLt));
+  auto zero = ComputeNu(RealFormula::And(parts), opts);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_TRUE(zero->is_exact);
+  EXPECT_DOUBLE_EQ(zero->value, 0.0);
+  // Valid: μ = 1 exactly.
+  auto one = ComputeNu(RealFormula::Cmp(Z(0) * Z(0) + C(1), CmpOp::kGt), opts);
+  ASSERT_TRUE(one.ok());
+  EXPECT_TRUE(one->is_exact);
+  EXPECT_DOUBLE_EQ(one->value, 1.0);
+}
+
+TEST(OracleTest, CertainAndPossibleAnswers) {
+  model::Database db;
+  ASSERT_TRUE(db.CreateRelation(model::RelationSchema(
+                   "R", {{"x", model::Sort::kNum}}))
+                  .ok());
+  model::Value top = db.MakeNumNull();
+  ASSERT_TRUE(db.Insert("R", {top}).ok());
+  // q = ∃x R(x) && x·x >= 0 — certain (true under every valuation).
+  logic::Formula certain = logic::Formula::Exists(
+      logic::TypedVar{"x", model::Sort::kNum},
+      logic::Formula::And([] {
+        std::vector<logic::Formula> v;
+        v.push_back(logic::Formula::Rel("R", {logic::AtomArg::NumVar("x")}));
+        v.push_back(logic::Formula::Cmp(
+            logic::Term::Var("x") * logic::Term::Var("x"), CmpOp::kGe,
+            logic::Term::Const(0)));
+        return v;
+      }()));
+  auto q1 = logic::Query::Make(certain, db);
+  ASSERT_TRUE(q1.ok());
+  auto is_certain = IsCertainAnswer(*q1, db, {});
+  ASSERT_TRUE(is_certain.ok()) << is_certain.status();
+  EXPECT_TRUE(*is_certain);
+
+  // q = ∃x R(x) && x > 0 — possible but not certain.
+  logic::Formula positive = logic::Formula::Exists(
+      logic::TypedVar{"x", model::Sort::kNum},
+      logic::Formula::And([] {
+        std::vector<logic::Formula> v;
+        v.push_back(logic::Formula::Rel("R", {logic::AtomArg::NumVar("x")}));
+        v.push_back(logic::Formula::Cmp(logic::Term::Var("x"), CmpOp::kGt,
+                                        logic::Term::Const(0)));
+        return v;
+      }()));
+  auto q2 = logic::Query::Make(positive, db);
+  ASSERT_TRUE(q2.ok());
+  auto is_certain2 = IsCertainAnswer(*q2, db, {});
+  ASSERT_TRUE(is_certain2.ok());
+  EXPECT_FALSE(*is_certain2);
+  auto is_possible = IsPossibleAnswer(*q2, db, {});
+  ASSERT_TRUE(is_possible.ok());
+  EXPECT_TRUE(*is_possible);
+}
+
+#else  // !MUDB_HAVE_Z3
+
+TEST(OracleTest, UnavailableReturnsUnimplemented) {
+  EXPECT_FALSE(OracleAvailable());
+  auto sat = OracleIsSatisfiable(RealFormula::Cmp(Z(0), CmpOp::kLt));
+  EXPECT_FALSE(sat.ok());
+  EXPECT_EQ(sat.status().code(), util::StatusCode::kUnimplemented);
+}
+
+#endif  // MUDB_HAVE_Z3
+
+}  // namespace
+}  // namespace mudb::measure

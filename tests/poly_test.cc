@@ -1,0 +1,262 @@
+// Unit and property tests for src/poly: multivariate polynomials, univariate
+// tools, Sturm-sequence root isolation.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/poly/polynomial.h"
+#include "src/poly/univariate.h"
+#include "src/util/rng.h"
+
+namespace mudb::poly {
+namespace {
+
+Polynomial Z(int i) { return Polynomial::Variable(i); }
+Polynomial C(double c) { return Polynomial::Constant(c); }
+
+TEST(PolynomialTest, ZeroAndConstants) {
+  Polynomial zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_TRUE(zero.IsConstant());
+  EXPECT_EQ(zero.Degree(), -1);
+  EXPECT_EQ(C(0).Degree(), -1);  // 0 coefficient dropped
+  EXPECT_EQ(C(3).Degree(), 0);
+  EXPECT_DOUBLE_EQ(C(3).ConstantTerm(), 3.0);
+  EXPECT_EQ(C(3).NumVariables(), 0);
+}
+
+TEST(PolynomialTest, VariableBasics) {
+  Polynomial z2 = Z(2);
+  EXPECT_EQ(z2.Degree(), 1);
+  EXPECT_EQ(z2.NumVariables(), 3);
+  EXPECT_DOUBLE_EQ(z2.LinearCoefficient(2), 1.0);
+  EXPECT_DOUBLE_EQ(z2.LinearCoefficient(0), 0.0);
+  EXPECT_TRUE(z2.IsLinear());
+}
+
+TEST(PolynomialTest, ArithmeticAndEvaluate) {
+  // p = (z0 + 2)(z1 - 3) = z0 z1 - 3 z0 + 2 z1 - 6.
+  Polynomial p = (Z(0) + C(2)) * (Z(1) - C(3));
+  EXPECT_EQ(p.Degree(), 2);
+  EXPECT_FALSE(p.IsLinear());
+  EXPECT_DOUBLE_EQ(p.Evaluate({1.0, 4.0}), (1 + 2) * (4 - 3));
+  EXPECT_DOUBLE_EQ(p.Evaluate({-2.0, 100.0}), 0.0);
+  // Missing coordinates are zero.
+  EXPECT_DOUBLE_EQ(p.Evaluate({}), -6.0);
+}
+
+TEST(PolynomialTest, CancellationDropsTerms) {
+  Polynomial p = Z(0) * Z(1) - Z(1) * Z(0);
+  EXPECT_TRUE(p.IsZero());
+  Polynomial q = (Z(0) + C(1)) - Z(0);
+  EXPECT_TRUE(q.IsConstant());
+  EXPECT_DOUBLE_EQ(q.ConstantTerm(), 1.0);
+}
+
+TEST(PolynomialTest, SubstituteVariable) {
+  // p = z0^2 + z1; substitute z0 := z1 + 1 -> z1^2 + 3 z1 + 1.
+  Polynomial p = Z(0) * Z(0) + Z(1);
+  Polynomial s = p.Substitute(0, Z(1) + C(1));
+  EXPECT_DOUBLE_EQ(s.Evaluate({0.0, 2.0}), 2 * 2 + 3 * 2 + 1);
+}
+
+TEST(PolynomialTest, RestrictToDirectionGroupsByDegree) {
+  // p = 2 z0^2 - z1 + 5. Along a = (a0, a1):
+  // k^2 coeff = 2 a0^2; k coeff = -a1; const = 5.
+  Polynomial p = C(2) * Z(0) * Z(0) - Z(1) + C(5);
+  std::vector<double> r = p.RestrictToDirection({3.0, 4.0});
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_DOUBLE_EQ(r[0], 5.0);
+  EXPECT_DOUBLE_EQ(r[1], -4.0);
+  EXPECT_DOUBLE_EQ(r[2], 18.0);
+}
+
+TEST(PolynomialTest, LeadingFormAndDropConstant) {
+  Polynomial p = Z(0) * Z(1) + Z(0) + C(7);
+  Polynomial lead = p.LeadingForm();
+  EXPECT_EQ(lead, Z(0) * Z(1));
+  Polynomial hom = p.DropConstant();
+  EXPECT_DOUBLE_EQ(hom.ConstantTerm(), 0.0);
+  EXPECT_EQ(hom, Z(0) * Z(1) + Z(0));
+}
+
+TEST(PolynomialTest, CollectAndRemapVariables) {
+  Polynomial p = Z(0) * Z(3) + Z(3);
+  std::set<int> used;
+  p.CollectVariableIndices(&used);
+  EXPECT_EQ(used, (std::set<int>{0, 3}));
+  std::vector<int> remap{0, -1, -1, 1};
+  Polynomial q = p.RemapVariables(remap);
+  EXPECT_DOUBLE_EQ(q.Evaluate({2.0, 5.0}), 2 * 5 + 5);
+  EXPECT_EQ(q.NumVariables(), 2);
+}
+
+TEST(PolynomialTest, ToStringReadable) {
+  Polynomial p = C(2) * Z(0) * Z(0) - Z(1) + C(3);
+  std::string s = p.ToString();
+  EXPECT_NE(s.find("z0^2"), std::string::npos);
+  EXPECT_NE(s.find("z1"), std::string::npos);
+  EXPECT_EQ(Polynomial().ToString(), "0");
+}
+
+// Property: ring identities checked on random points.
+class PolyPropertyTest : public ::testing::TestWithParam<int> {};
+
+Polynomial RandomPoly(util::Rng& rng, int vars, int max_terms) {
+  Polynomial p;
+  int terms = static_cast<int>(rng.UniformInt(1, max_terms));
+  for (int t = 0; t < terms; ++t) {
+    Monomial m(vars, 0);
+    for (int v = 0; v < vars; ++v) {
+      m[v] = static_cast<uint32_t>(rng.UniformInt(0, 2));
+    }
+    p = p + Polynomial::FromMonomial(m, rng.Uniform(-3, 3));
+  }
+  return p;
+}
+
+TEST_P(PolyPropertyTest, RingIdentitiesAtRandomPoints) {
+  util::Rng rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    Polynomial a = RandomPoly(rng, 3, 4);
+    Polynomial b = RandomPoly(rng, 3, 4);
+    Polynomial c = RandomPoly(rng, 3, 4);
+    std::vector<double> x{rng.Uniform(-2, 2), rng.Uniform(-2, 2),
+                          rng.Uniform(-2, 2)};
+    double ax = a.Evaluate(x), bx = b.Evaluate(x), cx = c.Evaluate(x);
+    EXPECT_NEAR((a + b).Evaluate(x), ax + bx, 1e-9);
+    EXPECT_NEAR((a - b).Evaluate(x), ax - bx, 1e-9);
+    EXPECT_NEAR((a * b).Evaluate(x), ax * bx, 1e-6);
+    EXPECT_NEAR(((a + b) * c).Evaluate(x), (ax + bx) * cx, 1e-6);
+    EXPECT_NEAR((-a).Evaluate(x), -ax, 1e-9);
+  }
+}
+
+TEST_P(PolyPropertyTest, RestrictToDirectionMatchesEvaluation) {
+  util::Rng rng(GetParam() + 100);
+  for (int iter = 0; iter < 50; ++iter) {
+    Polynomial p = RandomPoly(rng, 3, 5);
+    std::vector<double> a{rng.Uniform(-1, 1), rng.Uniform(-1, 1),
+                          rng.Uniform(-1, 1)};
+    std::vector<double> restricted = p.RestrictToDirection(a);
+    for (double k : {0.5, 1.0, 2.0, 7.0}) {
+      std::vector<double> ka{k * a[0], k * a[1], k * a[2]};
+      EXPECT_NEAR(EvaluateUni(restricted, k), p.Evaluate(ka), 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolyPropertyTest, ::testing::Values(1, 2, 3));
+
+// ---- Univariate tools -------------------------------------------------------
+
+TEST(UnivariateTest, TrimAndEvaluate) {
+  UniPoly p{1.0, 2.0, 0.0, 0.0};
+  EXPECT_EQ(TrimLeading(p).size(), 2u);
+  EXPECT_DOUBLE_EQ(EvaluateUni(p, 3.0), 1 + 2 * 3);
+  EXPECT_DOUBLE_EQ(EvaluateUni({}, 5.0), 0.0);
+}
+
+TEST(UnivariateTest, Derivative) {
+  // d/dx (1 + 2x + 3x^2) = 2 + 6x.
+  UniPoly d = DerivativeUni({1.0, 2.0, 3.0});
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], 6.0);
+  EXPECT_TRUE(DerivativeUni({5.0}).empty());
+}
+
+TEST(UnivariateTest, AsymptoticSign) {
+  EXPECT_EQ(AsymptoticSign({0.0, 0.0, 3.0}), 1);    // 3k^2
+  EXPECT_EQ(AsymptoticSign({5.0, -1.0}), -1);       // -k + 5
+  EXPECT_EQ(AsymptoticSign({-2.0}), -1);            // constant
+  EXPECT_EQ(AsymptoticSign({}), 0);                 // zero polynomial
+  EXPECT_EQ(AsymptoticSign({0.0, 1e-15}, 1e-12), 0);  // below tolerance
+}
+
+TEST(SturmTest, QuadraticRoots) {
+  // (x-1)(x-3) = x^2 - 4x + 3.
+  std::vector<double> roots = IsolateRealRoots({3.0, -4.0, 1.0}, -10, 10);
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_NEAR(roots[0], 1.0, 1e-9);
+  EXPECT_NEAR(roots[1], 3.0, 1e-9);
+}
+
+TEST(SturmTest, NoRealRoots) {
+  // x^2 + 1.
+  EXPECT_TRUE(IsolateRealRoots({1.0, 0.0, 1.0}, -100, 100).empty());
+}
+
+TEST(SturmTest, RepeatedRootFoundOnce) {
+  // (x-2)^2 = x^2 - 4x + 4.
+  std::vector<double> roots = IsolateRealRoots({4.0, -4.0, 1.0}, -10, 10);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_NEAR(roots[0], 2.0, 1e-6);
+}
+
+TEST(SturmTest, CubicWithThreeRoots) {
+  // (x+2)(x)(x-5) = x^3 - 3x^2 - 10x.
+  std::vector<double> roots = IsolateRealRoots({0.0, -10.0, -3.0, 1.0}, -10, 10);
+  ASSERT_EQ(roots.size(), 3u);
+  EXPECT_NEAR(roots[0], -2.0, 1e-8);
+  EXPECT_NEAR(roots[1], 0.0, 1e-8);
+  EXPECT_NEAR(roots[2], 5.0, 1e-8);
+}
+
+TEST(SturmTest, RespectsInterval) {
+  // Roots at 1 and 3; search only (2, 10).
+  std::vector<double> roots = IsolateRealRoots({3.0, -4.0, 1.0}, 2, 10);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_NEAR(roots[0], 3.0, 1e-9);
+}
+
+TEST(SturmTest, DegenerateInputs) {
+  EXPECT_TRUE(IsolateRealRoots({}, -1, 1).empty());
+  EXPECT_TRUE(IsolateRealRoots({4.0}, -1, 1).empty());
+  EXPECT_TRUE(IsolateRealRoots({0.0, 1.0}, 5, 2).empty());  // empty interval
+}
+
+class SturmPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SturmPropertyTest, RecoversPlantedRoots) {
+  util::Rng rng(GetParam());
+  for (int iter = 0; iter < 30; ++iter) {
+    // Build p = Π (x - r_i) with distinct planted roots.
+    int n = static_cast<int>(rng.UniformInt(1, 5));
+    std::vector<double> planted;
+    for (int i = 0; i < n; ++i) {
+      double r;
+      bool ok;
+      do {
+        r = rng.Uniform(-5, 5);
+        ok = true;
+        for (double p : planted) {
+          if (std::fabs(p - r) < 0.2) ok = false;
+        }
+      } while (!ok);
+      planted.push_back(r);
+    }
+    std::sort(planted.begin(), planted.end());
+    UniPoly p{1.0};
+    for (double r : planted) {
+      UniPoly next(p.size() + 1, 0.0);
+      for (size_t i = 0; i < p.size(); ++i) {
+        next[i + 1] += p[i];
+        next[i] -= r * p[i];
+      }
+      p = next;
+    }
+    std::vector<double> roots = IsolateRealRoots(p, -6, 6, 1e-10);
+    ASSERT_EQ(roots.size(), planted.size());
+    for (size_t i = 0; i < roots.size(); ++i) {
+      EXPECT_NEAR(roots[i], planted[i], 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SturmPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace mudb::poly

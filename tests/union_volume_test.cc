@@ -1,0 +1,120 @@
+// Tests for the Karp–Luby union-volume estimator.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/volume/union_volume.h"
+
+namespace mudb::volume {
+namespace {
+
+// Quadrant cone of the unit ball selected by sign pattern (sx, sy):
+// {x : sx·x >= 0, sy·y >= 0} ∩ B_1.
+SeededBody Quadrant(int sx, int sy) {
+  convex::ConvexBody body(2);
+  body.AddHalfspace({static_cast<double>(-sx), 0.0}, 0.0);
+  body.AddHalfspace({0.0, static_cast<double>(-sy)}, 0.0);
+  body.AddBall({0.0, 0.0}, 1.0);
+  std::vector<std::pair<geom::Vec, double>> hs = {
+      {{static_cast<double>(-sx), 0.0}, 0.0},
+      {{0.0, static_cast<double>(-sy)}, 0.0}};
+  auto inner = convex::FindInnerBall(hs, 2, 1.0);
+  MUDB_CHECK(inner.has_value());
+  return SeededBody{std::move(body), *inner,
+                    1.0 + geom::Norm(inner->center)};
+}
+
+TEST(UnionVolumeTest, EmptyInputIsZero) {
+  util::Rng rng(1);
+  auto r = EstimateUnionVolume({}, {}, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->volume, 0.0);
+}
+
+TEST(UnionVolumeTest, SingleQuadrant) {
+  util::Rng rng(2);
+  std::vector<SeededBody> bodies;
+  bodies.push_back(Quadrant(1, 1));
+  UnionVolumeOptions opts;
+  opts.epsilon = 0.05;
+  auto r = EstimateUnionVolume(bodies, opts, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->volume, M_PI / 4, 0.15 * M_PI / 4);
+}
+
+TEST(UnionVolumeTest, DisjointQuadrantsAdd) {
+  util::Rng rng(3);
+  std::vector<SeededBody> bodies;
+  bodies.push_back(Quadrant(1, 1));
+  bodies.push_back(Quadrant(-1, -1));
+  UnionVolumeOptions opts;
+  opts.epsilon = 0.05;
+  auto r = EstimateUnionVolume(bodies, opts, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->volume, M_PI / 2, 0.15 * M_PI / 2);
+}
+
+TEST(UnionVolumeTest, DuplicateBodiesDoNotDoubleCount) {
+  util::Rng rng(4);
+  std::vector<SeededBody> bodies;
+  bodies.push_back(Quadrant(1, 1));
+  bodies.push_back(Quadrant(1, 1));
+  bodies.push_back(Quadrant(1, 1));
+  UnionVolumeOptions opts;
+  opts.epsilon = 0.05;
+  auto r = EstimateUnionVolume(bodies, opts, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->volume, M_PI / 4, 0.15 * M_PI / 4);
+}
+
+TEST(UnionVolumeTest, FourQuadrantsCoverTheBall) {
+  util::Rng rng(5);
+  std::vector<SeededBody> bodies;
+  for (int sx : {-1, 1}) {
+    for (int sy : {-1, 1}) {
+      bodies.push_back(Quadrant(sx, sy));
+    }
+  }
+  UnionVolumeOptions opts;
+  opts.epsilon = 0.05;
+  auto r = EstimateUnionVolume(bodies, opts, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->volume, M_PI, 0.12 * M_PI);
+  EXPECT_EQ(r->body_volumes.size(), 4u);
+  for (double v : r->body_volumes) {
+    EXPECT_NEAR(v, M_PI / 4, 0.15 * M_PI / 4);
+  }
+}
+
+TEST(UnionVolumeTest, OverlappingHalfBalls) {
+  // {x >= 0} and {x + y >= 0}: union is 3/4 of the ball... actually the
+  // union of two half-planes through the origin at angle π/4 covers
+  // 2π − π/4 overlap complement: Vol = (2π − (π − π/4))/2π · πr² ... compute
+  // directly: union of halfplanes with normals at angle θ covers fraction
+  // (π + θ)/(2π) of the circle; here θ = π/4.
+  util::Rng rng(6);
+  auto make_half = [](double nx, double ny) {
+    convex::ConvexBody body(2);
+    double norm = std::sqrt(nx * nx + ny * ny);
+    body.AddHalfspace({-nx / norm, -ny / norm}, 0.0);  // n·x >= 0
+    body.AddBall({0.0, 0.0}, 1.0);
+    auto inner = convex::FindInnerBall({{{-nx / norm, -ny / norm}, 0.0}}, 2,
+                                       1.0);
+    MUDB_CHECK(inner.has_value());
+    return SeededBody{std::move(body), *inner,
+                      1.0 + geom::Norm(inner->center)};
+  };
+  std::vector<SeededBody> bodies;
+  bodies.push_back(make_half(1.0, 0.0));
+  bodies.push_back(make_half(1.0, 1.0));
+  UnionVolumeOptions opts;
+  opts.epsilon = 0.05;
+  auto r = EstimateUnionVolume(bodies, opts, rng);
+  ASSERT_TRUE(r.ok());
+  double expected = (M_PI + M_PI / 4) / (2 * M_PI) * M_PI;
+  EXPECT_NEAR(r->volume, expected, 0.12 * expected);
+}
+
+}  // namespace
+}  // namespace mudb::volume

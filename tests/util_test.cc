@@ -1,0 +1,229 @@
+// Unit tests for src/util: Status/StatusOr, Rational, Rng.
+
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rational.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/util/timer.h"
+
+namespace mudb::util {
+namespace {
+
+// ---- Status ----------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  std::set<StatusCode> codes{
+      Status::InvalidArgument("").code(), Status::NotFound("").code(),
+      Status::OutOfRange("").code(),      Status::Unimplemented("").code(),
+      Status::Internal("").code(),        Status::FailedPrecondition("").code(),
+      Status::ResourceExhausted("").code()};
+  EXPECT_EQ(codes.size(), 7u);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = ParsePositive(5);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 5);
+  EXPECT_EQ(v.value(), 5);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = ParsePositive(-1);
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+StatusOr<int> Doubled(int x) {
+  MUDB_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return 2 * v;
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_FALSE(Doubled(0).ok());
+}
+
+Status CheckBoth(int a, int b) {
+  MUDB_RETURN_IF_ERROR(ParsePositive(a).status());
+  MUDB_RETURN_IF_ERROR(ParsePositive(b).status());
+  return Status::OK();
+}
+
+TEST(StatusOrTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(CheckBoth(1, 2).ok());
+  EXPECT_FALSE(CheckBoth(1, -2).ok());
+  EXPECT_FALSE(CheckBoth(-1, 2).ok());
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(7));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> p = std::move(v).value();
+  EXPECT_EQ(*p, 7);
+}
+
+// ---- Rational ---------------------------------------------------------------
+
+TEST(RationalTest, NormalizesSignAndGcd) {
+  Rational r(6, -4);
+  EXPECT_EQ(r.numerator(), -3);
+  EXPECT_EQ(r.denominator(), 2);
+  EXPECT_EQ(Rational(0, 17), Rational(0));
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational half(1, 2), third(1, 3);
+  EXPECT_EQ(half + third, Rational(5, 6));
+  EXPECT_EQ(half - third, Rational(1, 6));
+  EXPECT_EQ(half * third, Rational(1, 6));
+  EXPECT_EQ(half / third, Rational(3, 2));
+  EXPECT_EQ(-half, Rational(-1, 2));
+}
+
+TEST(RationalTest, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(7, 8), Rational(3, 4));
+  EXPECT_GE(Rational(-1, 2), Rational(-2, 3));
+  EXPECT_NE(Rational(1, 3), Rational(1, 2));
+}
+
+TEST(RationalTest, ToDoubleAndString) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).ToDouble(), 0.25);
+  EXPECT_EQ(Rational(3, 7).ToString(), "3/7");
+  EXPECT_EQ(Rational(5).ToString(), "5");
+  EXPECT_EQ(Rational(-2, 6).ToString(), "-1/3");
+}
+
+TEST(RationalTest, FactorialAndPowers) {
+  EXPECT_EQ(Rational::Factorial(0), Rational(1));
+  EXPECT_EQ(Rational::Factorial(5), Rational(120));
+  EXPECT_EQ(Rational::Factorial(10), Rational(3628800));
+  EXPECT_EQ(Rational::PowerOfTwo(10), Rational(1024));
+  EXPECT_EQ(Rational::PowerOfTwo(-3), Rational(1, 8));
+}
+
+// Property sweep: field axioms on a grid of small rationals.
+class RationalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RationalPropertyTest, FieldAxiomsOnGrid) {
+  int seed = GetParam();
+  Rng rng(seed);
+  for (int iter = 0; iter < 200; ++iter) {
+    Rational a(rng.UniformInt(-20, 20), rng.UniformInt(1, 12));
+    Rational b(rng.UniformInt(-20, 20), rng.UniformInt(1, 12));
+    Rational c(rng.UniformInt(-20, 20), rng.UniformInt(1, 12));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + Rational(0), a);
+    EXPECT_EQ(a * Rational(1), a);
+    EXPECT_EQ(a - a, Rational(0));
+    if (!b.IsZero()) {
+      EXPECT_EQ((a / b) * b, a);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---- Rng --------------------------------------------------------------------
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform01(), b.Uniform01());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Uniform01() != b.Uniform01()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 5));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 5);
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(99);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(TimerTest, MeasuresNonNegativeElapsed) {
+  WallTimer t;
+  double e1 = t.ElapsedSeconds();
+  EXPECT_GE(e1, 0.0);
+  t.Restart();
+  EXPECT_GE(t.ElapsedMillis(), 0.0);
+}
+
+}  // namespace
+}  // namespace mudb::util
