@@ -74,8 +74,9 @@ int main() {
   auto exact = measure::ComputeNu(printed, exact_opts);
   MUDB_CHECK(exact.ok());
   double closed = (M_PI / 2 - std::atan(10.0 / 7.0)) / (2 * M_PI);
-  std::printf("# constraint (1): exact-2d %.6f, closed form %.6f, paper ~0.097\n",
-              exact->value, closed);
+  std::printf(
+      "# constraint (1): exact-2d %.6f, closed form %.6f, paper ~0.097\n",
+      exact->value, closed);
   std::printf("# share of positive quadrant: %.4f (paper ~0.388)\n#\n",
               exact->value * 4);
 

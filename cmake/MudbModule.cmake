@@ -1,0 +1,38 @@
+# Helper for declaring one mudb subsystem as a named static library target.
+#
+#   mudb_add_module(util
+#     SOURCES rational.cc status.cc
+#     HEADERS rational.h rng.h status.h timer.h
+#     DEPS    mudb::base)
+#
+# creates `mudb_util` (aliased as `mudb::util`) with the repo root on its
+# public include path, so sources keep using `#include "src/util/status.h"`.
+# Header-only modules (no SOURCES) become INTERFACE libraries.
+
+function(mudb_add_module name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;HEADERS;DEPS" ${ARGN})
+  if(ARG_SOURCES)
+    add_library(mudb_${name} STATIC ${ARG_SOURCES} ${ARG_HEADERS})
+    target_include_directories(mudb_${name} PUBLIC ${PROJECT_SOURCE_DIR})
+    target_compile_options(mudb_${name} PRIVATE ${MUDB_WARNING_FLAGS})
+    if(ARG_DEPS)
+      target_link_libraries(mudb_${name} PUBLIC ${ARG_DEPS})
+    endif()
+  else()
+    add_library(mudb_${name} INTERFACE)
+    target_include_directories(mudb_${name} INTERFACE ${PROJECT_SOURCE_DIR})
+    if(ARG_DEPS)
+      target_link_libraries(mudb_${name} INTERFACE ${ARG_DEPS})
+    endif()
+  endif()
+  add_library(mudb::${name} ALIAS mudb_${name})
+endfunction()
+
+# An executable `name` built from `name.cc`, linked against the given
+# targets. Shared by tests/, examples/, and bench/ so binary-wide settings
+# (warning flags today; output dirs, LTO, ... later) live in one place.
+function(mudb_add_binary name)
+  add_executable(${name} ${name}.cc)
+  target_link_libraries(${name} PRIVATE ${ARGN})
+  target_compile_options(${name} PRIVATE ${MUDB_WARNING_FLAGS})
+endfunction()

@@ -88,7 +88,8 @@ int main(int argc, char** argv) {
                   mu->is_exact ? " (exact)" : "");
     }
     std::printf(
-        "candidates: %zu (of %zu witnesses), join: %.3fs, confidence: %.3fs\n\n",
+        "candidates: %zu (of %zu witnesses), join: %.3fs, confidence: "
+        "%.3fs\n\n",
         result->candidates.size(), result->witnesses_enumerated, eval_s,
         mc_timer.ElapsedSeconds());
   }

@@ -217,13 +217,15 @@ std::set<int> RealFormula::UsedVariables() const {
   return out;
 }
 
-RealFormula RealFormula::RemapVariables(const std::vector<int>& new_index) const {
+RealFormula RealFormula::RemapVariables(
+    const std::vector<int>& new_index) const {
   switch (kind_) {
     case Kind::kTrue:
     case Kind::kFalse:
       return *this;
     case Kind::kAtom:
-      return Atom(RealAtom{atom_[0].poly.RemapVariables(new_index), atom_[0].op});
+      return Atom(
+          RealAtom{atom_[0].poly.RemapVariables(new_index), atom_[0].op});
     case Kind::kAnd:
     case Kind::kOr:
     case Kind::kNot: {

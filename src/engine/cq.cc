@@ -47,7 +47,8 @@ util::Status ConjunctiveQuery::Validate(const model::Database& db) const {
       }
       if (a.sort() == model::Sort::kNum &&
           a.term().kind() == Term::Kind::kVar) {
-        auto [it, ok] = var_sorts.emplace(a.term().var_name(), model::Sort::kNum);
+        auto [it, ok] =
+            var_sorts.emplace(a.term().var_name(), model::Sort::kNum);
         if (!ok && it->second != model::Sort::kNum) {
           return util::Status::InvalidArgument(
               "variable " + a.term().var_name() + " used with two sorts");

@@ -70,8 +70,9 @@ class Evaluator {
       c.output = key;
       c.witnesses = state.disjuncts.size();
       c.certain = state.certain;
-      c.constraint = state.certain ? RealFormula::True()
-                                   : RealFormula::Or(std::move(state.disjuncts));
+      c.constraint = state.certain
+                         ? RealFormula::True()
+                         : RealFormula::Or(std::move(state.disjuncts));
       result.candidates.push_back(std::move(c));
     }
     return result;

@@ -1,6 +1,8 @@
 #include "src/engine/naive.h"
 
 #include <map>
+#include <optional>
+#include <string>
 #include <vector>
 
 namespace mudb::engine {
@@ -148,9 +150,10 @@ util::StatusOr<bool> Eval(const Formula& f, const Database& db,
       const bool is_exists = f.kind() == Formula::Kind::kExists;
       const logic::TypedVar& var = f.quantified_var();
       if (var.sort == Sort::kBase) {
-        auto saved = env->base.count(var.name)
-                         ? std::optional<std::string>(env->base[var.name])
-                         : std::nullopt;
+        std::optional<std::string> saved;
+        if (auto it = env->base.find(var.name); it != env->base.end()) {
+          saved = it->second;
+        }
         for (const std::string& c : domains.base) {
           env->base[var.name] = c;
           MUDB_ASSIGN_OR_RETURN(bool v,
@@ -171,9 +174,10 @@ util::StatusOr<bool> Eval(const Formula& f, const Database& db,
         }
         return !is_exists;
       }
-      auto saved = env->num.count(var.name)
-                       ? std::optional<double>(env->num[var.name])
-                       : std::nullopt;
+      std::optional<double> saved;
+      if (auto it = env->num.find(var.name); it != env->num.end()) {
+        saved = it->second;
+      }
       for (double c : domains.num) {
         env->num[var.name] = c;
         MUDB_ASSIGN_OR_RETURN(bool v, Eval(f.children()[0], db, domains, env));

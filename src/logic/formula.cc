@@ -345,7 +345,8 @@ std::string Formula::ToString() const {
       return "!(" + children_[0].ToString() + ")";
     case Kind::kExists:
     case Kind::kForall:
-      return std::string(kind_ == Kind::kExists ? "\xE2\x88\x83" : "\xE2\x88\x80") +
+      return std::string(kind_ == Kind::kExists ? "\xE2\x88\x83"
+                                                : "\xE2\x88\x80") +
              qvar_.name + ":" + model::SortToString(qvar_.sort) + ". " +
              children_[0].ToString();
   }
@@ -368,8 +369,9 @@ util::StatusOr<Query> Query::MakeWithOutput(Formula formula,
   std::map<std::string, model::Sort> free = formula.FreeVariables();
   if (output.size() != free.size()) {
     return util::Status::InvalidArgument(
-        "output has " + std::to_string(output.size()) + " variables, formula has " +
-        std::to_string(free.size()) + " free variables");
+        "output has " + std::to_string(output.size()) +
+        " variables, formula has " + std::to_string(free.size()) +
+        " free variables");
   }
   for (const TypedVar& v : output) {
     auto it = free.find(v.name);

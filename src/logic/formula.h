@@ -71,9 +71,15 @@ class AtomArg {
     return a;
   }
   /// Shorthands.
-  static AtomArg BaseVar(std::string name) { return Base(BaseArg::Var(std::move(name))); }
-  static AtomArg BaseConst(std::string v) { return Base(BaseArg::Const(std::move(v))); }
-  static AtomArg NumVar(std::string name) { return Num(Term::Var(std::move(name))); }
+  static AtomArg BaseVar(std::string name) {
+    return Base(BaseArg::Var(std::move(name)));
+  }
+  static AtomArg BaseConst(std::string v) {
+    return Base(BaseArg::Const(std::move(v)));
+  }
+  static AtomArg NumVar(std::string name) {
+    return Num(Term::Var(std::move(name)));
+  }
   static AtomArg NumConst(double v) { return Num(Term::Const(v)); }
 
   model::Sort sort() const { return sort_; }

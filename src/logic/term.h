@@ -28,7 +28,9 @@ class Term {
   static Term Mul(Term lhs, Term rhs);
   static Term Neg(Term operand);
   /// Derived: lhs + (-rhs).
-  static Term Sub(Term lhs, Term rhs) { return Add(std::move(lhs), Neg(std::move(rhs))); }
+  static Term Sub(Term lhs, Term rhs) {
+    return Add(std::move(lhs), Neg(std::move(rhs)));
+  }
 
   Term() : kind_(Kind::kConst), value_(0.0) {}
 
@@ -53,9 +55,15 @@ class Term {
 };
 
 /// Convenience operators for building terms in examples and tests.
-inline Term operator+(Term a, Term b) { return Term::Add(std::move(a), std::move(b)); }
-inline Term operator-(Term a, Term b) { return Term::Sub(std::move(a), std::move(b)); }
-inline Term operator*(Term a, Term b) { return Term::Mul(std::move(a), std::move(b)); }
+inline Term operator+(Term a, Term b) {
+  return Term::Add(std::move(a), std::move(b));
+}
+inline Term operator-(Term a, Term b) {
+  return Term::Sub(std::move(a), std::move(b));
+}
+inline Term operator*(Term a, Term b) {
+  return Term::Mul(std::move(a), std::move(b));
+}
 inline Term operator-(Term a) { return Term::Neg(std::move(a)); }
 
 }  // namespace mudb::logic

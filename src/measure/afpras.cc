@@ -66,7 +66,8 @@ util::StatusOr<AfprasResult> Afpras(const constraints::RealFormula& formula,
     // fixed order, so the result depends only on (seed, num_threads).
     std::vector<uint64_t> seeds(threads);
     for (uint64_t& s : seeds) {
-      s = static_cast<uint64_t>(rng.UniformInt(0, std::numeric_limits<int64_t>::max()));
+      s = static_cast<uint64_t>(
+          rng.UniformInt(0, std::numeric_limits<int64_t>::max()));
     }
     std::vector<int64_t> partial(threads, 0);
     std::vector<std::thread> workers;

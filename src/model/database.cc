@@ -132,9 +132,9 @@ Database Valuation::Apply(const Database& db) const {
   return out;
 }
 
-Valuation MakeBijectiveBaseValuation(const Database& db,
-                                     const std::string& prefix,
-                                     const std::vector<NullId>& extra_base_ids) {
+Valuation MakeBijectiveBaseValuation(
+    const Database& db, const std::string& prefix,
+    const std::vector<NullId>& extra_base_ids) {
   // Ensure the range is disjoint from C_base(D): extend the prefix until no
   // base constant in the database starts with it.
   std::string safe_prefix = prefix;

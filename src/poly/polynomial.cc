@@ -51,7 +51,8 @@ void Polynomial::AddTerm(Monomial m, double coeff) {
 }
 
 bool Polynomial::IsConstant() const {
-  return terms_.empty() || (terms_.size() == 1 && terms_.begin()->first.empty());
+  return terms_.empty() ||
+         (terms_.size() == 1 && terms_.begin()->first.empty());
 }
 
 double Polynomial::ConstantTerm() const {

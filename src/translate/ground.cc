@@ -227,7 +227,8 @@ class Grounder {
         MUDB_ASSIGN_OR_RETURN(RealFormula g, Ground(f.children()[0], env));
         parts.push_back(std::move(g));
         if (is_exists && parts.back().kind() == RealFormula::Kind::kTrue) break;
-        if (!is_exists && parts.back().kind() == RealFormula::Kind::kFalse) break;
+        if (!is_exists && parts.back().kind() == RealFormula::Kind::kFalse)
+          break;
       }
       if (saved) {
         env->base[var.name] = *saved;
@@ -243,7 +244,8 @@ class Grounder {
         MUDB_ASSIGN_OR_RETURN(RealFormula g, Ground(f.children()[0], env));
         parts.push_back(std::move(g));
         if (is_exists && parts.back().kind() == RealFormula::Kind::kTrue) break;
-        if (!is_exists && parts.back().kind() == RealFormula::Kind::kFalse) break;
+        if (!is_exists && parts.back().kind() == RealFormula::Kind::kFalse)
+          break;
       }
       if (saved) {
         env->num[var.name] = *saved;

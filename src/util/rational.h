@@ -22,7 +22,7 @@ class Rational {
   /// Zero.
   Rational() : num_(0), den_(1) {}
   /// An integer value.
-  Rational(int64_t value) : num_(value), den_(1) {}  // NOLINT: implicit by design
+  Rational(int64_t value) : num_(value), den_(1) {}  // NOLINT: implicit
   /// num/den; den may be negative or non-reduced, normalization is applied.
   /// Aborts if den == 0.
   Rational(int64_t num, int64_t den);

@@ -205,7 +205,7 @@ TEST_P(AsymptoticPropertyTest, MatchesEvaluationFarOut) {
 INSTANTIATE_TEST_SUITE_P(Seeds, AsymptoticPropertyTest,
                          ::testing::Values(5, 6, 7, 8));
 
-// ---- NNF / DNF ---------------------------------------------------------------
+// ---- NNF / DNF --------------------------------------------------------------
 
 TEST(NnfTest, PushesNegationsOntoAtoms) {
   RealFormula a = RealFormula::Cmp(Z(0), CmpOp::kLt);

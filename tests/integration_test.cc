@@ -165,8 +165,9 @@ TEST(IntegrationTest, CampaignExampleViaFullQuery) {
   logic::Formula antecedent = logic::Formula::And([] {
     std::vector<logic::Formula> v;
     v.push_back(logic::Formula::Rel(
-        "Products", {logic::AtomArg::BaseVar("i"), logic::AtomArg::BaseVar("s"),
-                     logic::AtomArg::NumVar("r"), logic::AtomArg::NumVar("d")}));
+        "Products",
+        {logic::AtomArg::BaseVar("i"), logic::AtomArg::BaseVar("s"),
+         logic::AtomArg::NumVar("r"), logic::AtomArg::NumVar("d")}));
     v.push_back(logic::Formula::Not(logic::Formula::Rel(
         "Excluded",
         {logic::AtomArg::BaseVar("i"), logic::AtomArg::BaseVar("s")})));

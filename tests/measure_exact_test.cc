@@ -20,8 +20,12 @@ using util::Rational;
 Polynomial Z(int i) { return Polynomial::Variable(i); }
 Polynomial C(double c) { return Polynomial::Constant(c); }
 
-RealFormula Lt(Polynomial p) { return RealFormula::Cmp(std::move(p), CmpOp::kLt); }
-RealFormula Gt(Polynomial p) { return RealFormula::Cmp(std::move(p), CmpOp::kGt); }
+RealFormula Lt(Polynomial p) {
+  return RealFormula::Cmp(std::move(p), CmpOp::kLt);
+}
+RealFormula Gt(Polynomial p) {
+  return RealFormula::Cmp(std::move(p), CmpOp::kGt);
+}
 
 TEST(OrderDetectionTest, RecognizesOrderAtoms) {
   EXPECT_TRUE(IsOrderFormula(Lt(Z(0) - Z(1))));

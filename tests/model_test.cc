@@ -213,7 +213,8 @@ TEST(BijectiveValuationTest, MapsAllBaseNullsInjectively) {
 
 TEST(BijectiveValuationTest, AvoidsPrefixCollisions) {
   Database db;
-  ASSERT_TRUE(db.CreateRelation(RelationSchema("R", {{"a", Sort::kBase}})).ok());
+  ASSERT_TRUE(
+      db.CreateRelation(RelationSchema("R", {{"a", Sort::kBase}})).ok());
   // A constant that looks like a default-mapped null.
   ASSERT_TRUE(db.Insert("R", {Value::BaseConst("@null_0")}).ok());
   Value n = db.MakeBaseNull();

@@ -13,9 +13,10 @@ using constraints::RealFormula;
 using poly::Polynomial;
 
 Polynomial Z(int i) { return Polynomial::Variable(i); }
-Polynomial C(double c) { return Polynomial::Constant(c); }
 
 #if MUDB_HAVE_Z3
+
+Polynomial C(double c) { return Polynomial::Constant(c); }
 
 TEST(OracleTest, IsAvailable) { EXPECT_TRUE(OracleAvailable()); }
 

@@ -197,7 +197,8 @@ TEST(SturmTest, RepeatedRootFoundOnce) {
 
 TEST(SturmTest, CubicWithThreeRoots) {
   // (x+2)(x)(x-5) = x^3 - 3x^2 - 10x.
-  std::vector<double> roots = IsolateRealRoots({0.0, -10.0, -3.0, 1.0}, -10, 10);
+  std::vector<double> roots =
+      IsolateRealRoots({0.0, -10.0, -3.0, 1.0}, -10, 10);
   ASSERT_EQ(roots.size(), 3u);
   EXPECT_NEAR(roots[0], -2.0, 1e-8);
   EXPECT_NEAR(roots[1], 0.0, 1e-8);
