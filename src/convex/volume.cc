@@ -6,6 +6,18 @@
 
 namespace mudb::convex {
 
+namespace {
+
+// Chunk grid for one phase's sample budget: enough chunks to occupy a few
+// workers, each large enough that the 10·walk burn-in of its chain stays a
+// small fraction of its sampling work. A function of the budget only, so the
+// grid — and with it the estimate — is independent of the thread count.
+int NumChunks(int per_phase) {
+  return std::clamp(per_phase / 256, 1, 64);
+}
+
+}  // namespace
+
 VolumeEstimate EstimateVolume(const ConvexBody& body, const InnerBall& inner,
                               double outer_radius_bound,
                               const VolumeOptions& options, util::Rng& rng) {
@@ -37,35 +49,44 @@ VolumeEstimate EstimateVolume(const ConvexBody& body, const InnerBall& inner,
     per_phase = static_cast<int>(std::clamp(m, 200.0, 200000.0));
   }
 
-  // Sample from the largest body first is not required; we go small→large so
-  // each phase can warm-start from the previous chain state.
-  geom::Vec point = inner.center;
+  const int chunks = NumChunks(per_phase);
+  std::vector<int> inside(chunks);
+  util::Rng base = rng.Fork();
   for (int i = 1; i <= phases; ++i) {
     ConvexBody phase_body = body;
     phase_body.AddBall(inner.center, radii[i]);
-    HitAndRunSampler sampler(&phase_body, point);
-    // Burn-in.
-    sampler.Walk(10 * walk, rng);
-    est.steps += 10 * walk;
-    int inside = 0;
     double prev_r2 = radii[i - 1] * radii[i - 1];
-    for (int s = 0; s < per_phase; ++s) {
-      sampler.Walk(walk, rng);
-      est.steps += walk;
-      const geom::Vec& x = sampler.current();
-      double d2 = 0.0;
-      for (int j = 0; j < n; ++j) {
-        double diff = x[j] - inner.center[j];
-        d2 += diff * diff;
+    util::Rng phase_rng = base.Split(i);
+    auto run_chunk = [&](int64_t c) {
+      // Chunk c samples its share of the phase budget with its own chain,
+      // started at the inner-ball center (interior of every phase body).
+      int samples = per_phase / chunks + (c < per_phase % chunks ? 1 : 0);
+      util::Rng chunk_rng = phase_rng.Split(c);
+      HitAndRunSampler sampler(&phase_body, inner.center);
+      sampler.Walk(10 * walk, chunk_rng);  // burn-in
+      int hits = 0;
+      for (int s = 0; s < samples; ++s) {
+        sampler.Walk(walk, chunk_rng);
+        const geom::Vec& x = sampler.current();
+        double d2 = 0.0;
+        for (int j = 0; j < n; ++j) {
+          double diff = x[j] - inner.center[j];
+          d2 += diff * diff;
+        }
+        if (d2 <= prev_r2) ++hits;
       }
-      if (d2 <= prev_r2) ++inside;
-    }
-    double ratio = static_cast<double>(inside) / per_phase;
+      inside[c] = hits;
+    };
+    util::ThreadPool::RunGrid(options.pool, chunks, run_chunk);
+    est.steps += static_cast<int64_t>(chunks) * 10 * walk +
+                 static_cast<int64_t>(per_phase) * walk;
+    int total_inside = 0;
+    for (int c = 0; c < chunks; ++c) total_inside += inside[c];
+    double ratio = static_cast<double>(total_inside) / per_phase;
     // The true ratio is >= 2^{-1} by construction; guard the estimate away
     // from 0 so a pathological chain cannot blow up the product.
     ratio = std::max(ratio, 1e-3);
     est.volume /= ratio;
-    point = sampler.current();
   }
   return est;
 }

@@ -7,6 +7,13 @@
 // sampling from K_i, and Vol(K) is the telescoping product. This provides the
 // per-body volume oracle required by the union FPRAS of Thm. 7.1 (standing in
 // for the oracles assumed by Bringmann–Friedrich [9]).
+//
+// Each phase's sample budget is split across a fixed grid of independent
+// hit-and-run chains (grid size a function of the budget alone), chain
+// (phase, chunk) drawing from the substream Split(phase).Split(chunk) of the
+// forked call rng. The chains of one phase run in parallel on the optional
+// pool, and the estimate is bit-identical for any pool size — see
+// thread_pool.h.
 
 #ifndef MUDB_SRC_CONVEX_VOLUME_H_
 #define MUDB_SRC_CONVEX_VOLUME_H_
@@ -15,6 +22,7 @@
 #include "src/convex/sampler.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
+#include "src/util/thread_pool.h"
 
 namespace mudb::convex {
 
@@ -25,6 +33,9 @@ struct VolumeOptions {
   int walk_steps = 0;
   /// Samples per annealing phase; 0 means auto from epsilon and phase count.
   int samples_per_phase = 0;
+  /// Optional worker pool for the per-phase chains; nullptr runs them
+  /// inline. Any pool size yields the identical estimate.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct VolumeEstimate {
@@ -36,8 +47,10 @@ struct VolumeEstimate {
 };
 
 /// Estimates Vol(body). `inner` must satisfy B(inner) ⊆ body, and body must
-/// be contained in B(inner.center, outer_radius_bound). Deterministic given
-/// the Rng state.
+/// be contained in B(inner.center, outer_radius_bound). Advances `rng` by
+/// one draw (Rng::Fork) and samples from substreams of the forked child:
+/// repeated calls with one Rng see fresh chains, while a fresh same-seeded
+/// Rng reproduces the estimate bit-exactly, independent of options.pool.
 VolumeEstimate EstimateVolume(const ConvexBody& body, const InnerBall& inner,
                               double outer_radius_bound,
                               const VolumeOptions& options, util::Rng& rng);

@@ -1,11 +1,9 @@
 #include "src/measure/afpras.h"
 
 #include <cmath>
-#include <limits>
-#include <thread>
-#include <vector>
 
 #include "src/geom/geometry.h"
+#include "src/util/parallel.h"
 
 namespace mudb::measure {
 
@@ -57,31 +55,16 @@ util::StatusOr<AfprasResult> Afpras(const constraints::RealFormula& formula,
     return hits;
   };
 
-  int64_t hits = 0;
-  int threads = std::max(1, options.num_threads);
-  if (threads == 1 || m < 2 * threads) {
-    hits = count_hits(m, rng);
-  } else {
-    // Deterministic substreams: worker seeds come from the caller's Rng in a
-    // fixed order, so the result depends only on (seed, num_threads).
-    std::vector<uint64_t> seeds(threads);
-    for (uint64_t& s : seeds) {
-      s = static_cast<uint64_t>(
-          rng.UniformInt(0, std::numeric_limits<int64_t>::max()));
-    }
-    std::vector<int64_t> partial(threads, 0);
-    std::vector<std::thread> workers;
-    int64_t chunk = m / threads;
-    for (int t = 0; t < threads; ++t) {
-      int64_t samples = t == threads - 1 ? m - chunk * (threads - 1) : chunk;
-      workers.emplace_back([&, t, samples] {
-        util::Rng local_rng(seeds[t]);
-        partial[t] = count_hits(samples, local_rng);
-      });
-    }
-    for (std::thread& w : workers) w.join();
-    for (int64_t p : partial) hits += p;
-  }
+  // Fixed-size chunks on substreams of the forked child (util/parallel.h):
+  // the chunk grid depends on m alone, so the hit count — and the estimate —
+  // is bit-identical for every thread count given the same seed. The chunk
+  // size balances engine-setup overhead against exposing parallelism even at
+  // the few-thousand-sample budgets of loose (ε, δ) settings.
+  const int64_t kChunkSamples = 1024;
+  util::Rng base = rng.Fork();
+  int64_t hits = util::ReduceSampleChunks<int64_t>(
+      options.pool, options.num_threads, m, kChunkSamples, base,
+      /*init=*/0, count_hits);
   result.samples = m;
   result.estimate = static_cast<double>(hits) / static_cast<double>(m);
   return result;

@@ -16,6 +16,7 @@
 #include "src/constraints/real_formula.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
+#include "src/util/thread_pool.h"
 
 namespace mudb::measure {
 
@@ -32,10 +33,15 @@ struct AfprasOptions {
   bool restrict_to_used_vars = true;
   /// Absolute tolerance when deciding whether a restricted coefficient is 0.
   double coefficient_tolerance = 1e-12;
-  /// Worker threads for the sampling loop. Results are deterministic given
-  /// (seed, num_threads): each worker gets an independent substream seeded
-  /// from the caller's Rng, independent of scheduling.
+  /// Worker threads for the sampling loop; 0 or negative = all hardware
+  /// threads. The estimate is bit-identical for any value given the same
+  /// seed: samples are carved into fixed-size chunks, chunk c drawing from
+  /// the substream Rng::Split(c) (see util/parallel.h).
   int num_threads = 1;
+  /// Optional long-lived pool; when set it is used as-is (num_threads only
+  /// sizes per-call pools) so hot loops over many estimates skip the
+  /// per-call worker spawn. Not owned; one submitter at a time.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct AfprasResult {
@@ -48,7 +54,10 @@ struct AfprasResult {
 /// Number of samples required for additive error ε with confidence 1 − δ.
 int64_t AfprasSampleCount(double epsilon, double delta);
 
-/// Runs the AFPRAS on φ. Constant formulae return exactly 0 or 1.
+/// Runs the AFPRAS on φ. Constant formulae return exactly 0 or 1. Advances
+/// `rng` by one draw (Rng::Fork) and samples from substreams of the forked
+/// child, so repeated calls with one Rng see fresh randomness while a fresh
+/// same-seeded Rng reproduces the estimate bit-exactly.
 util::StatusOr<AfprasResult> Afpras(const constraints::RealFormula& formula,
                                     const AfprasOptions& options,
                                     util::Rng& rng);

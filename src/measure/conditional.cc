@@ -1,6 +1,9 @@
 #include "src/measure/conditional.h"
 
 #include <cmath>
+#include <vector>
+
+#include "src/util/parallel.h"
 
 namespace mudb::measure {
 
@@ -58,26 +61,36 @@ util::StatusOr<AfprasResult> ConditionalAfpras(
   int64_t m = options.num_samples > 0
                   ? options.num_samples
                   : AfprasSampleCount(options.epsilon, options.delta);
-  std::vector<double> a(dim);
-  int64_t hits = 0;
-  for (int64_t s = 0; s < m; ++s) {
-    for (int i = 0; i < dim; ++i) {
-      const VarRange& r = var_ranges[i];
-      if (r.bounded()) {
-        a[i] = rng.Uniform(*r.lo, *r.hi);
-      } else if (r.lo) {
-        a[i] = std::fabs(rng.Gaussian());   // direction into [lo, ∞)
-      } else if (r.hi) {
-        a[i] = -std::fabs(rng.Gaussian());  // direction into (-∞, hi]
-      } else {
-        a[i] = rng.Gaussian();
+  // Same parallel contract as the unconditional AFPRAS: fixed-size chunks on
+  // substreams of the forked child, so the estimate only depends on the seed.
+  auto count_hits = [&](int64_t samples, util::Rng& local_rng) {
+    std::vector<double> a(dim);
+    int64_t hits = 0;
+    for (int64_t s = 0; s < samples; ++s) {
+      for (int i = 0; i < dim; ++i) {
+        const VarRange& r = var_ranges[i];
+        if (r.bounded()) {
+          a[i] = local_rng.Uniform(*r.lo, *r.hi);
+        } else if (r.lo) {
+          a[i] = std::fabs(local_rng.Gaussian());   // direction into [lo, ∞)
+        } else if (r.hi) {
+          a[i] = -std::fabs(local_rng.Gaussian());  // direction into (-∞, hi]
+        } else {
+          a[i] = local_rng.Gaussian();
+        }
+      }
+      if (working.AsymptoticTruthPartial(a, scaled,
+                                         options.coefficient_tolerance)) {
+        ++hits;
       }
     }
-    if (working.AsymptoticTruthPartial(a, scaled,
-                                       options.coefficient_tolerance)) {
-      ++hits;
-    }
-  }
+    return hits;
+  };
+  const int64_t kChunkSamples = 1024;
+  util::Rng base = rng.Fork();
+  int64_t hits = util::ReduceSampleChunks<int64_t>(
+      options.pool, options.num_threads, m, kChunkSamples, base,
+      /*init=*/0, count_hits);
   result.samples = m;
   result.estimate = static_cast<double>(hits) / static_cast<double>(m);
   return result;

@@ -57,7 +57,8 @@ using VarRanges = std::vector<VarRange>;
 
 /// Estimates μ_C(φ) for per-variable interval constraints C. Empty ranges
 /// reproduce the unconditional AFPRAS. Fails with InvalidArgument on an
-/// empty interval (lo > hi).
+/// empty interval (lo > hi). Same Rng contract as Afpras: one Fork draw,
+/// sampling from substreams, bit-identical for any num_threads.
 util::StatusOr<AfprasResult> ConditionalAfpras(
     const constraints::RealFormula& formula, const VarRanges& ranges,
     const AfprasOptions& options, util::Rng& rng);

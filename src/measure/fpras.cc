@@ -1,8 +1,12 @@
 #include "src/measure/fpras.h"
 
 #include <cmath>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "src/geom/geometry.h"
+#include "src/util/thread_pool.h"
 #include "src/volume/union_volume.h"
 
 namespace mudb::measure {
@@ -88,7 +92,8 @@ util::StatusOr<FprasResult> FprasConjunctive(
   MUDB_ASSIGN_OR_RETURN(std::vector<Conjunction> dnf,
                         working.ToDnf(options.max_disjuncts));
 
-  std::vector<volume::SeededBody> bodies;
+  // Translate every disjunct to cone halfspaces (cheap, serial), ...
+  std::vector<std::vector<std::pair<geom::Vec, double>>> cones;
   for (const Conjunction& conj : dnf) {
     Conjunction hom = constraints::HomogenizeLinear(conj);
     std::vector<std::pair<geom::Vec, double>> halfspaces;
@@ -99,14 +104,32 @@ util::StatusOr<FprasResult> FprasConjunctive(
       result.estimate = 1.0;
       return result;
     }
-    auto inner = convex::FindInnerBall(halfspaces, dim, 1.0);
-    if (!inner) continue;  // empty interior: volume 0
+    cones.push_back(std::move(halfspaces));
+  }
+
+  // ... then dispatch the inner-ball LPs as independent tasks and assemble
+  // the surviving bodies in cone order. One pool — the caller's long-lived
+  // one when provided — serves the whole pipeline.
+  std::optional<util::ThreadPool> local_pool;
+  util::ThreadPool* pool = options.pool;
+  if (pool == nullptr) {
+    local_pool.emplace(
+        util::ThreadPool::ResolveThreadCount(options.num_threads));
+    pool = &*local_pool;
+  }
+  std::vector<std::optional<convex::InnerBall>> inners(cones.size());
+  pool->ParallelFor(static_cast<int64_t>(cones.size()), [&](int64_t i) {
+    inners[i] = convex::FindInnerBall(cones[i], dim, 1.0);
+  });
+  std::vector<volume::SeededBody> bodies;
+  for (size_t i = 0; i < cones.size(); ++i) {
+    if (!inners[i]) continue;  // empty interior: volume 0
     convex::ConvexBody body(dim);
-    for (auto& [a, b] : halfspaces) body.AddHalfspace(std::move(a), b);
+    for (auto& [a, b] : cones[i]) body.AddHalfspace(std::move(a), b);
     body.AddBall(geom::Vec(dim, 0.0), 1.0);
-    double outer_bound = 1.0 + geom::Norm(inner->center) + 1e-9;
+    double outer_bound = 1.0 + geom::Norm(inners[i]->center) + 1e-9;
     bodies.push_back(
-        volume::SeededBody{std::move(body), *inner, outer_bound});
+        volume::SeededBody{std::move(body), *inners[i], outer_bound});
   }
   result.active_disjuncts = static_cast<int>(bodies.size());
   if (bodies.empty()) {
@@ -117,6 +140,8 @@ util::StatusOr<FprasResult> FprasConjunctive(
   volume::UnionVolumeOptions uopts;
   uopts.epsilon = options.epsilon;
   uopts.body_volume.epsilon = options.epsilon;
+  uopts.pool = pool;
+  uopts.body_volume.pool = pool;
   MUDB_ASSIGN_OR_RETURN(volume::UnionVolumeResult uv,
                         volume::EstimateUnionVolume(bodies, uopts, rng));
   result.estimate = uv.volume / geom::BallVolume(dim, 1.0);

@@ -9,6 +9,11 @@
 //
 // Disjuncts containing a nontrivial equality atom span a measure-zero set and
 // are dropped; ≠ atoms only remove measure-zero sets and are ignored.
+//
+// The expensive stages — per-cone inner-ball LPs, the annealing phases, the
+// Karp–Luby loop — run on a shared util::ThreadPool, with the sampling work
+// carved into RNG substreams by the workload so the estimate is bit-identical
+// for any num_threads (see util/thread_pool.h).
 
 #ifndef MUDB_SRC_MEASURE_FPRAS_H_
 #define MUDB_SRC_MEASURE_FPRAS_H_
@@ -18,6 +23,7 @@
 #include "src/constraints/real_formula.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
+#include "src/util/thread_pool.h"
 
 namespace mudb::measure {
 
@@ -28,6 +34,16 @@ struct FprasOptions {
   size_t max_disjuncts = 4096;
   /// As in AfprasOptions: compact away unused variables first.
   bool restrict_to_used_vars = true;
+  /// Worker threads for the sampling pipeline (per-cone LPs, annealing
+  /// phases, the Karp–Luby loop); 0 or negative = all hardware threads.
+  /// The estimate is bit-identical for any value given the same seed: work
+  /// is carved into a grid of RNG substreams independent of the thread
+  /// count (see util/thread_pool.h).
+  int num_threads = 1;
+  /// Optional long-lived pool; when set it is used as-is (num_threads only
+  /// sizes per-call pools) so hot loops over many estimates skip the
+  /// per-call worker spawn. Not owned; one submitter at a time.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct FprasResult {
@@ -42,7 +58,9 @@ struct FprasResult {
 };
 
 /// Runs the FPRAS. Fails with InvalidArgument if some atom is nonlinear and
-/// ResourceExhausted if the DNF exceeds max_disjuncts.
+/// ResourceExhausted if the DNF exceeds max_disjuncts. Consumes randomness
+/// from `rng` (one Rng::Fork draw inside the union estimate), so repeated
+/// calls with one Rng see fresh sample paths.
 util::StatusOr<FprasResult> FprasConjunctive(
     const constraints::RealFormula& formula, const FprasOptions& options,
     util::Rng& rng);

@@ -42,6 +42,7 @@ util::StatusOr<MeasureResult> RunAfpras(const RealFormula& formula,
   aopts.delta = options.delta;
   aopts.restrict_to_used_vars = options.restrict_to_used_vars;
   aopts.num_threads = options.num_threads;
+  aopts.pool = options.pool;
   util::Rng rng(options.seed);
   MUDB_ASSIGN_OR_RETURN(AfprasResult ar, Afpras(formula, aopts, rng));
   MeasureResult r;
@@ -59,6 +60,8 @@ util::StatusOr<MeasureResult> RunFpras(const RealFormula& formula,
   fopts.epsilon = options.epsilon;
   fopts.max_disjuncts = options.max_dnf_disjuncts;
   fopts.restrict_to_used_vars = options.restrict_to_used_vars;
+  fopts.num_threads = options.num_threads;
+  fopts.pool = options.pool;
   util::Rng rng(options.seed);
   MUDB_ASSIGN_OR_RETURN(FprasResult fr, FprasConjunctive(formula, fopts, rng));
   MeasureResult r;
@@ -159,6 +162,8 @@ util::StatusOr<MeasureResult> ComputeConditionalMeasure(
   aopts.epsilon = options.epsilon;
   aopts.delta = options.delta;
   aopts.restrict_to_used_vars = options.restrict_to_used_vars;
+  aopts.num_threads = options.num_threads;
+  aopts.pool = options.pool;
   util::Rng rng(options.seed);
   MUDB_ASSIGN_OR_RETURN(
       AfprasResult ar,

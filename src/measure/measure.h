@@ -7,6 +7,7 @@
 //   logic::Query q = ...;                     // FO(+,·,<)
 //   model::Tuple candidate = ...;             // one value per output column
 //   measure::MeasureOptions opts;
+//   opts.num_threads = 0;                     // 0 = all hardware threads
 //   auto result = measure::ComputeMeasure(q, db, candidate, opts);
 //   // result->value ∈ [0, 1]; result->is_exact tells whether it is exact.
 //
@@ -14,6 +15,11 @@
 // with few variables; ≤ 2 numeric nulls in the constraints), otherwise the
 // AFPRAS of Thm. 8.1. The FPRAS of Thm. 7.1 must be requested explicitly
 // (its multiplicative guarantee is stronger but its constants are larger).
+//
+// The randomized engines run on the shared parallel sampling runtime
+// (util/thread_pool.h): given the same seed, any num_threads value returns
+// bit-identical results, because sampling work is carved into RNG substreams
+// by the workload, never by the thread count.
 
 #ifndef MUDB_SRC_MEASURE_MEASURE_H_
 #define MUDB_SRC_MEASURE_MEASURE_H_
@@ -33,6 +39,7 @@
 #include "src/util/rational.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
+#include "src/util/thread_pool.h"
 
 namespace mudb::measure {
 
@@ -62,8 +69,14 @@ struct MeasureOptions {
   int exact_order_max_vars = 8;
   /// Passed to the FPRAS DNF conversion.
   size_t max_dnf_disjuncts = 4096;
-  /// Worker threads for the AFPRAS sampling loop.
+  /// Worker threads for the randomized engines (AFPRAS, conditional AFPRAS,
+  /// FPRAS); 0 or negative = all hardware threads. Estimates are
+  /// bit-identical for any value given the same seed.
   int num_threads = 1;
+  /// Optional long-lived pool for per-candidate loops: when set, the
+  /// engines use it as-is instead of spawning workers per call. Not owned;
+  /// one submitter at a time (share across sequential calls only).
+  util::ThreadPool* pool = nullptr;
 };
 
 struct MeasureResult {

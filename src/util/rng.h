@@ -3,6 +3,13 @@
 // A thin wrapper over std::mt19937_64 so that every sampler in the library
 // takes an explicit `Rng&`: benchmarks and tests are reproducible, and no
 // component touches global random state.
+//
+// Parallel estimators never share one engine across workers. Instead they
+// carve the workload into a task grid derived from the sample budget (never
+// from the thread count) and give task i the substream Split(i). Because
+// Split is a pure function of (construction seed, stream index), the set of
+// substreams — and therefore every estimate reduced from them in fixed task
+// order — is bit-identical for any thread count.
 
 #ifndef MUDB_SRC_UTIL_RNG_H_
 #define MUDB_SRC_UTIL_RNG_H_
@@ -12,10 +19,12 @@
 
 namespace mudb::util {
 
-/// Deterministic pseudo-random source. Not thread-safe; use one per thread.
+/// Deterministic pseudo-random source. Not thread-safe; parallel code gives
+/// each task its own engine via Split().
 class Rng {
  public:
-  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed) {}
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull)
+      : seed_(seed), engine_(seed) {}
 
   /// Uniform double in [0, 1).
   double Uniform01() { return unit_(engine_); }
@@ -34,10 +43,41 @@ class Rng {
   /// True with probability p.
   bool Bernoulli(double p) { return Uniform01() < p; }
 
+  /// The seed this Rng was constructed with (the identity of its stream).
+  uint64_t seed() const { return seed_; }
+
+  /// Child engine for substream `stream`, seeded by the SplitMix64 finalizer
+  /// over (seed, stream). A pure function of the construction seed — drawing
+  /// from the parent does not perturb its substreams — so a fixed task grid
+  /// receives the same substreams no matter how tasks are scheduled.
+  /// Splitting composes: rng.Split(i).Split(j) is a grandchild stream, and
+  /// distinct (seed, stream) pairs yield statistically independent engines.
+  Rng Split(uint64_t stream) const {
+    return Rng(SplitMix64(seed_ + 0x9E3779B97F4A7C15ull * (stream + 1)));
+  }
+
+  /// Draws one value from this engine and returns the child stream rooted at
+  /// it. Estimators call Fork() once on entry (on the calling thread, before
+  /// any parallelism): the draw advances the parent, so repeated calls with
+  /// one Rng object see fresh substreams — the estimator consumes randomness
+  /// like any other sampler — while a fresh same-seeded Rng reproduces the
+  /// call exactly.
+  Rng Fork() { return Split(engine_()); }
+
+  /// The SplitMix64 finalizer (Steele–Lea–Flood): a bijective avalanche mix
+  /// mapping structured inputs (seed + stream·golden) to well-spread seeds.
+  static uint64_t SplitMix64(uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
   /// Access to the underlying engine for std distributions.
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  uint64_t seed_;
   std::mt19937_64 engine_;
   std::uniform_real_distribution<double> unit_{0.0, 1.0};
   std::normal_distribution<double> normal_{0.0, 1.0};

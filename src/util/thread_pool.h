@@ -1,0 +1,88 @@
+// A small persistent worker pool for the data-parallel sampling loops of the
+// randomized estimators (FPRAS, AFPRAS, annealed volume estimation).
+//
+// The determinism contract: ParallelFor executes a fixed grid of tasks
+// [0, n). Callers derive the grid from the workload (sample budget, number of
+// cones) — never from the thread count — give task i the RNG substream
+// Rng::Split(i), write each task's output into slot i, and reduce the slots
+// in index order after ParallelFor returns. Scheduling then only decides
+// *which thread* runs a task, not *what* the task computes, so estimates are
+// bit-identical for any pool size, including the inline single-thread path.
+
+#ifndef MUDB_SRC_UTIL_THREAD_POOL_H_
+#define MUDB_SRC_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mudb::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers; the calling thread participates in
+  /// every ParallelFor. Values < 1 are clamped to 1 (no workers, inline
+  /// execution), so a ThreadPool(1) is free to construct.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Workers plus the participating caller.
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Invokes fn(i) for every i in [0, n) and returns once all calls are
+  /// done. Tasks are claimed dynamically from a shared counter, so fn must
+  /// be safe to call concurrently and must not depend on execution order:
+  /// write results into per-index slots and do any order-sensitive reduction
+  /// after the call returns. fn must not throw and must not call back into
+  /// this pool (tasks needing inner parallelism take the pool and issue a
+  /// flat grid instead). One submitter at a time: sharing a pool across
+  /// *sequential* estimator calls is fine, but concurrent ParallelFor calls
+  /// on one pool are not supported — give concurrent submitters their own
+  /// pools.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+  /// Runs the grid on `pool` when non-null, inline on the calling thread
+  /// otherwise — the shared shape of every "parallel if we have workers"
+  /// sampling loop, with identical results either way.
+  static void RunGrid(ThreadPool* pool, int64_t n,
+                      const std::function<void(int64_t)>& fn);
+
+  /// Maps a requested thread count to an actual one: values >= 1 are taken
+  /// as-is; 0 and negatives mean "all hardware threads".
+  static int ResolveThreadCount(int requested);
+
+ private:
+  // One ParallelFor invocation. Workers hold a shared_ptr while draining it,
+  // so a straggler that re-checks an already-finished job only sees its
+  // exhausted counter and goes back to sleep — it can never claim indices
+  // from a job submitted later.
+  struct Job {
+    const std::function<void(int64_t)>* fn;
+    int64_t n;
+    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> completed{0};
+  };
+
+  void WorkerLoop();
+  void RunTasks(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> job_;  // guarded by mu_; non-null while a job runs
+  uint64_t epoch_ = 0;        // guarded by mu_; bumped per job
+  bool stop_ = false;         // guarded by mu_
+};
+
+}  // namespace mudb::util
+
+#endif  // MUDB_SRC_UTIL_THREAD_POOL_H_

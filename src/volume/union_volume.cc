@@ -8,6 +8,19 @@
 
 namespace mudb::volume {
 
+namespace {
+
+// Chunk grid for the Karp–Luby loop: each chunk owns private hit-and-run
+// chains (one per body it actually picks, burn-in included), so chunks must
+// be large enough to amortize those burn-ins over their samples. A function
+// of the budget and body count only — never the thread count.
+int NumChunks(int num_samples, int num_bodies) {
+  int min_chunk_samples = std::max(256, 20 * num_bodies);
+  return std::clamp(num_samples / min_chunk_samples, 1, 64);
+}
+
+}  // namespace
+
 util::StatusOr<UnionVolumeResult> EstimateUnionVolume(
     const std::vector<SeededBody>& bodies, const UnionVolumeOptions& options,
     util::Rng& rng) {
@@ -15,13 +28,18 @@ util::StatusOr<UnionVolumeResult> EstimateUnionVolume(
   if (bodies.empty()) return result;
   const int m = static_cast<int>(bodies.size());
 
-  // Per-body volume estimates.
+  // Per-body volume estimates; body i draws from substream i. The bodies run
+  // sequentially — EstimateVolume itself fans each annealing phase out on
+  // body_volume.pool, which keeps the parallelism flat (no nested
+  // ParallelFor) while saturating the workers even for a single body.
   result.body_volumes.resize(m);
   double total = 0.0;
+  util::Rng base = rng.Fork();
   for (int i = 0; i < m; ++i) {
+    util::Rng body_rng = base.Split(i);
     convex::VolumeEstimate est = convex::EstimateVolume(
         bodies[i].body, bodies[i].inner, bodies[i].outer_radius_bound,
-        options.body_volume, rng);
+        options.body_volume, body_rng);
     result.body_volumes[i] = est.volume;
     total += est.volume;
   }
@@ -35,39 +53,51 @@ util::StatusOr<UnionVolumeResult> EstimateUnionVolume(
     cdf[i] = acc / total;
   }
 
-  // One persistent hit-and-run chain per body (warm across samples).
-  std::vector<std::unique_ptr<convex::HitAndRunSampler>> samplers;
-  samplers.reserve(m);
   int dim = bodies[0].body.dim();
   int walk = options.walk_steps > 0 ? options.walk_steps : 4 * dim;
-  for (int i = 0; i < m; ++i) {
-    samplers.push_back(std::make_unique<convex::HitAndRunSampler>(
-        &bodies[i].body, bodies[i].inner.center));
-    samplers.back()->Walk(10 * walk, rng);
-  }
-
   int num_samples = options.num_samples;
   if (num_samples <= 0) {
     double s = 12.0 * m / (options.epsilon * options.epsilon);
     num_samples = static_cast<int>(std::clamp(s, 1000.0, 2000000.0));
   }
 
-  double sum_inv = 0.0;
-  for (int s = 0; s < num_samples; ++s) {
-    double u = rng.Uniform01();
-    int pick = static_cast<int>(
-        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
-    pick = std::min(pick, m - 1);
-    samplers[pick]->Walk(walk, rng);
-    const geom::Vec& x = samplers[pick]->current();
-    int owners = 0;
-    for (int j = 0; j < m; ++j) {
-      if (result.body_volumes[j] > 0 && bodies[j].body.Contains(x)) ++owners;
+  const int chunks = NumChunks(num_samples, m);
+  std::vector<double> partial(chunks);
+  auto run_chunk = [&](int64_t c) {
+    int samples = num_samples / chunks + (c < num_samples % chunks ? 1 : 0);
+    util::Rng chunk_rng = base.Split(m + c);
+    // Chains are created on first pick and persist (warm) across this
+    // chunk's samples; every draw comes from chunk_rng, so the chunk's
+    // sample path is a function of its substream alone.
+    std::vector<std::unique_ptr<convex::HitAndRunSampler>> samplers(m);
+    double sum_inv = 0.0;
+    for (int s = 0; s < samples; ++s) {
+      double u = chunk_rng.Uniform01();
+      int pick = static_cast<int>(
+          std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+      pick = std::min(pick, m - 1);
+      if (samplers[pick] == nullptr) {
+        samplers[pick] = std::make_unique<convex::HitAndRunSampler>(
+            &bodies[pick].body, bodies[pick].inner.center);
+        samplers[pick]->Walk(10 * walk, chunk_rng);  // burn-in
+      }
+      samplers[pick]->Walk(walk, chunk_rng);
+      const geom::Vec& x = samplers[pick]->current();
+      int owners = 0;
+      for (int j = 0; j < m; ++j) {
+        if (result.body_volumes[j] > 0 && bodies[j].body.Contains(x)) ++owners;
+      }
+      // x came from body `pick`, so owners >= 1 (up to numerical tolerance).
+      owners = std::max(owners, 1);
+      sum_inv += 1.0 / owners;
     }
-    // x came from body `pick`, so owners >= 1 (up to numerical tolerance).
-    owners = std::max(owners, 1);
-    sum_inv += 1.0 / owners;
-  }
+    partial[c] = sum_inv;
+  };
+  util::ThreadPool::RunGrid(options.pool, chunks, run_chunk);
+  // Fixed-order reduction: float addition is not associative, so summing in
+  // chunk order is what makes the estimate independent of scheduling.
+  double sum_inv = 0.0;
+  for (int c = 0; c < chunks; ++c) sum_inv += partial[c];
   result.volume = total * sum_inv / num_samples;
   return result;
 }

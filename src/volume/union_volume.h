@@ -7,6 +7,14 @@
 //     Vol(∪X_i) = (Σ V_i) · E[1/m(x)],
 // and since E[1/m] >= 1/#bodies, O(#bodies / ε²) samples give a relative
 // (1 ± ε) estimate with constant probability.
+//
+// Parallel runtime: the call forks the caller's rng once, body i's volume
+// estimate draws from the fork's substream Split(i) (and fans its phases out
+// on the pool, see convex/volume.h); the Karp–Luby loop is carved into a
+// fixed chunk grid — a function of the sample budget and body count only —
+// where chunk c draws everything (body picks and walks) from
+// Split(#bodies + c), and the partial sums are reduced in chunk order.
+// Estimates are bit-identical for any pool size.
 
 #ifndef MUDB_SRC_VOLUME_UNION_VOLUME_H_
 #define MUDB_SRC_VOLUME_UNION_VOLUME_H_
@@ -17,6 +25,7 @@
 #include "src/convex/volume.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
+#include "src/util/thread_pool.h"
 
 namespace mudb::volume {
 
@@ -27,8 +36,12 @@ struct UnionVolumeOptions {
   int walk_steps = 0;
   /// Karp–Luby samples; 0 = auto from epsilon and the number of bodies.
   int num_samples = 0;
-  /// Options for the per-body volume estimates.
+  /// Options for the per-body volume estimates (set body_volume.pool to the
+  /// same pool as `pool` to parallelize them as well).
   convex::VolumeOptions body_volume;
+  /// Optional worker pool for the Karp–Luby chunks; nullptr runs them
+  /// inline. Any pool size yields the identical estimate.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct UnionVolumeResult {
@@ -46,7 +59,10 @@ struct SeededBody {
   double outer_radius_bound;
 };
 
-/// Estimates Vol(X_1 ∪ ... ∪ X_m). Empty input yields 0.
+/// Estimates Vol(X_1 ∪ ... ∪ X_m). Empty input yields 0. Advances `rng` by
+/// one draw (Rng::Fork): repeated calls with one Rng see fresh sample paths,
+/// while a fresh same-seeded Rng reproduces the estimate bit-exactly,
+/// independent of the pools.
 util::StatusOr<UnionVolumeResult> EstimateUnionVolume(
     const std::vector<SeededBody>& bodies, const UnionVolumeOptions& options,
     util::Rng& rng);

@@ -151,6 +151,110 @@ TEST(VolumeTest, HalfBall2D) {
   EXPECT_NEAR(est.volume, M_PI / 2, 0.12 * M_PI / 2);
 }
 
+TEST(SamplerTest, ThinBodyStaysInsideAndMoves) {
+  // A nearly degenerate slab: |y| <= 1e-6 inside the unit disc. Almost every
+  // chord is tiny (long moves need near-tangent directions — the known slow
+  // mixing of hit-and-run on thin bodies), so the test asserts containment
+  // under rounding pressure plus movement relative to the slab scale, not
+  // full mixing.
+  const double half_width = 1e-6;
+  ConvexBody body(2);
+  body.AddHalfspace({0.0, 1.0}, half_width);   // y <= 1e-6
+  body.AddHalfspace({0.0, -1.0}, half_width);  // y >= -1e-6
+  body.AddBall({0.0, 0.0}, 1.0);
+  util::Rng rng(17);
+  HitAndRunSampler sampler(&body, {0.0, 0.0});
+  double max_abs_x = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    sampler.Step(rng);
+    ASSERT_TRUE(body.Contains(sampler.current()));
+    max_abs_x = std::max(max_abs_x, std::fabs(sampler.current()[0]));
+  }
+  // The chain is not stuck: it travels orders of magnitude beyond the short
+  // axis along the long one.
+  EXPECT_GT(max_abs_x, 100 * half_width);
+}
+
+TEST(SamplerTest, OneDimensionalBody) {
+  // 1-D body: the segment [-1, 0.5]. Directions are ±1; chords are the whole
+  // segment, so a few steps must mix over it.
+  ConvexBody body(1);
+  body.AddHalfspace({1.0}, 0.5);  // x <= 0.5
+  body.AddBall({0.0}, 1.0);       // x >= -1
+  util::Rng rng(21);
+  HitAndRunSampler sampler(&body, {0.0});
+  int below = 0;
+  const int m = 20000;
+  for (int i = 0; i < m; ++i) {
+    sampler.Step(rng);
+    ASSERT_TRUE(body.Contains(sampler.current()));
+    if (sampler.current()[0] < -0.25) ++below;
+  }
+  // [-1, -0.25) is half of [-1, 0.5].
+  EXPECT_NEAR(static_cast<double>(below) / m, 0.5, 0.03);
+}
+
+TEST(InnerBallTest, ThinConeHasEmptyInterior) {
+  // Opposing halfspaces pin y = 0: the cone degenerates to a half-line, the
+  // LP margin stays below threshold, and the cone is dropped (volume 0) —
+  // how the FPRAS pipeline discards measure-zero disjuncts.
+  std::vector<std::pair<geom::Vec, double>> hs;
+  hs.push_back({{0.0, 1.0}, 0.0});   // y <= 0
+  hs.push_back({{0.0, -1.0}, 0.0});  // y >= 0
+  hs.push_back({{-1.0, 0.0}, 0.0});  // x >= 0
+  EXPECT_FALSE(FindInnerBall(hs, 2, 1.0).has_value());
+}
+
+TEST(InnerBallTest, OneDimensionalHalfLine) {
+  // In 1-D the cone x >= 0 inside [-1, 1] has inner "ball" an interval.
+  std::vector<std::pair<geom::Vec, double>> hs;
+  hs.push_back({{-1.0}, 0.0});  // x >= 0
+  auto inner = FindInnerBall(hs, 1, 1.0);
+  ASSERT_TRUE(inner.has_value());
+  EXPECT_GT(inner->radius, 0.1);
+  EXPECT_GE(inner->center[0], inner->radius - 1e-9);
+}
+
+TEST(VolumeTest, OneDimensionalSegment) {
+  // Vol([-1, 0.5]) = 1.5, via the full annealing pipeline in n = 1.
+  ConvexBody body(1);
+  body.AddHalfspace({1.0}, 0.5);
+  body.AddBall({0.0}, 1.0);
+  InnerBall inner{{-0.25}, 0.2};
+  VolumeOptions opts;
+  opts.epsilon = 0.05;
+  util::Rng rng(23);
+  VolumeEstimate est = EstimateVolume(body, inner, 1.5, opts, rng);
+  EXPECT_NEAR(est.volume, 1.5, 0.15);
+}
+
+TEST(VolumeTest, EstimateIsPoolInvariant) {
+  // The same seed must give the identical estimate inline and on pools of
+  // different sizes (the chunk grid is a function of the budget alone).
+  ConvexBody body = OrthantCone(3);
+  std::vector<std::pair<geom::Vec, double>> hs;
+  for (int j = 0; j < 3; ++j) {
+    geom::Vec a(3, 0.0);
+    a[j] = -1.0;
+    hs.emplace_back(a, 0.0);
+  }
+  auto inner = FindInnerBall(hs, 3, 1.0);
+  ASSERT_TRUE(inner.has_value());
+  VolumeOptions opts;
+  opts.epsilon = 0.1;
+  util::Rng rng_inline(31);
+  double baseline =
+      EstimateVolume(body, *inner, 2.0, opts, rng_inline).volume;
+  for (int threads : {2, 8}) {
+    util::ThreadPool pool(threads);
+    VolumeOptions pooled = opts;
+    pooled.pool = &pool;
+    util::Rng rng(31);
+    EXPECT_EQ(EstimateVolume(body, *inner, 2.0, pooled, rng).volume, baseline)
+        << "threads " << threads;
+  }
+}
+
 TEST(VolumeTest, OrthantCone3DIsEighthBall) {
   ConvexBody body = OrthantCone(3);
   std::vector<std::pair<geom::Vec, double>> hs;

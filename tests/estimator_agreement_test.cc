@@ -1,0 +1,186 @@
+// Differential test harness for the randomized estimators: on small linear
+// formulae where an exact engine applies (NuExact2D for ≤ 2 variables,
+// NuExactOrder for order formulae), the FPRAS and the AFPRAS must agree with
+// the exact ν within their respective (ε, δ) guarantees across a fixed
+// battery of seeds. This is the safety net under the parallel sampling
+// runtime: a substream or reduction bug shows up here as a systematic bias
+// long before it is visible in any single-seed unit test.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/measure/afpras.h"
+#include "src/measure/fpras.h"
+#include "src/measure/nu_exact.h"
+#include "src/util/rng.h"
+
+namespace mudb::measure {
+namespace {
+
+using constraints::CmpOp;
+using constraints::RealFormula;
+using poly::Polynomial;
+
+Polynomial Z(int i) { return Polynomial::Variable(i); }
+Polynomial C(double c) { return Polynomial::Constant(c); }
+
+constexpr int kSeedBattery[] = {101, 202, 303, 404, 505};
+
+// A fixed battery of 2-variable linear formulae with nontrivial exact ν.
+std::vector<RealFormula> TwoVarBattery() {
+  std::vector<RealFormula> battery;
+  {
+    // Halfplane: ν = 1/2.
+    battery.push_back(RealFormula::Cmp(Z(0) + C(2) * Z(1), CmpOp::kLt));
+  }
+  {
+    // Quadrant: ν = 1/4.
+    std::vector<RealFormula> parts;
+    parts.push_back(RealFormula::Cmp(-Z(0), CmpOp::kLt));
+    parts.push_back(RealFormula::Cmp(-Z(1), CmpOp::kLt));
+    battery.push_back(RealFormula::And(std::move(parts)));
+  }
+  {
+    // Union of two sectors.
+    std::vector<RealFormula> left;
+    left.push_back(RealFormula::Cmp(Z(0), CmpOp::kLt));
+    left.push_back(RealFormula::Cmp(Z(1) - Z(0), CmpOp::kLt));
+    std::vector<RealFormula> right;
+    right.push_back(RealFormula::Cmp(-Z(1), CmpOp::kLt));
+    right.push_back(RealFormula::Cmp(Z(0) - C(3) * Z(1), CmpOp::kLt));
+    std::vector<RealFormula> ors{RealFormula::And(std::move(left)),
+                                 RealFormula::And(std::move(right))};
+    battery.push_back(RealFormula::Or(std::move(ors)));
+  }
+  {
+    // Oblique sector with constant offsets (vanish under homogenization).
+    std::vector<RealFormula> parts;
+    parts.push_back(RealFormula::Cmp(Z(0) - Z(1) + C(5), CmpOp::kLe));
+    parts.push_back(RealFormula::Cmp(-Z(0) - C(2) * Z(1) - C(7), CmpOp::kLe));
+    battery.push_back(RealFormula::And(std::move(parts)));
+  }
+  return battery;
+}
+
+// Order formulae over > 2 variables: NuExactOrder provides the ground truth
+// (rational), the AFPRAS must match additively. (The FPRAS leg runs on the
+// 2-variable battery; order formulae in higher dimension produce thin cones
+// whose relative-error constants make the test needlessly slow.)
+std::vector<RealFormula> OrderBattery() {
+  std::vector<RealFormula> battery;
+  {
+    // z0 < z1 < z2: ν = 1/6.
+    std::vector<RealFormula> parts;
+    parts.push_back(RealFormula::Cmp(Z(0) - Z(1), CmpOp::kLt));
+    parts.push_back(RealFormula::Cmp(Z(1) - Z(2), CmpOp::kLt));
+    battery.push_back(RealFormula::And(std::move(parts)));
+  }
+  {
+    // Positive and sorted: z0 > 0 ∧ z0 < z1: ν = 1/8.
+    std::vector<RealFormula> parts;
+    parts.push_back(RealFormula::Cmp(-Z(0), CmpOp::kLt));
+    parts.push_back(RealFormula::Cmp(Z(0) - Z(1), CmpOp::kLt));
+    battery.push_back(RealFormula::And(std::move(parts)));
+  }
+  {
+    // Max of three: z0 > z1 ∧ z0 > z2 ∨ z1 < 0.
+    std::vector<RealFormula> max_parts;
+    max_parts.push_back(RealFormula::Cmp(Z(1) - Z(0), CmpOp::kLt));
+    max_parts.push_back(RealFormula::Cmp(Z(2) - Z(0), CmpOp::kLt));
+    std::vector<RealFormula> ors{RealFormula::And(std::move(max_parts)),
+                                 RealFormula::Cmp(Z(1), CmpOp::kLt)};
+    battery.push_back(RealFormula::Or(std::move(ors)));
+  }
+  return battery;
+}
+
+TEST(EstimatorAgreementTest, FprasMatchesExact2DAcrossSeeds) {
+  const double eps = 0.05;
+  for (const RealFormula& f : TwoVarBattery()) {
+    auto exact = NuExact2D(f);
+    ASSERT_TRUE(exact.ok());
+    ASSERT_GT(*exact, 0.05);  // battery avoids the vacuous near-0 regime
+    for (int seed : kSeedBattery) {
+      FprasOptions opts;
+      opts.epsilon = eps;
+      util::Rng rng(seed);
+      auto approx = FprasConjunctive(f, opts, rng);
+      ASSERT_TRUE(approx.ok());
+      // 4× the target ε absorbs the constant-probability failure mode of
+      // the Karp–Luby analysis while still catching systematic bias.
+      EXPECT_LT(std::fabs(approx->estimate / *exact - 1.0), 4 * eps)
+          << "seed " << seed << " exact " << *exact << " approx "
+          << approx->estimate;
+    }
+  }
+}
+
+TEST(EstimatorAgreementTest, AfprasMatchesExact2DAcrossSeeds) {
+  const double eps = 0.02;
+  for (const RealFormula& f : TwoVarBattery()) {
+    auto exact = NuExact2D(f);
+    ASSERT_TRUE(exact.ok());
+    for (int seed : kSeedBattery) {
+      AfprasOptions opts;
+      opts.epsilon = eps;
+      opts.delta = 0.001;  // high confidence keeps the battery stable
+      util::Rng rng(seed);
+      auto approx = Afpras(f, opts, rng);
+      ASSERT_TRUE(approx.ok());
+      EXPECT_LT(std::fabs(approx->estimate - *exact), eps)
+          << "seed " << seed << " exact " << *exact;
+    }
+  }
+}
+
+TEST(EstimatorAgreementTest, AfprasMatchesExactOrderAcrossSeeds) {
+  const double eps = 0.02;
+  for (const RealFormula& f : OrderBattery()) {
+    ASSERT_TRUE(IsOrderFormula(f));
+    auto exact = NuExactOrder(f);
+    ASSERT_TRUE(exact.ok());
+    double truth = exact->ToDouble();
+    for (int seed : kSeedBattery) {
+      AfprasOptions opts;
+      opts.epsilon = eps;
+      opts.delta = 0.001;
+      util::Rng rng(seed);
+      auto approx = Afpras(f, opts, rng);
+      ASSERT_TRUE(approx.ok());
+      EXPECT_LT(std::fabs(approx->estimate - truth), eps)
+          << "seed " << seed << " exact " << truth;
+    }
+  }
+}
+
+TEST(EstimatorAgreementTest, FprasAndAfprasAgreeOnOrderFormulae) {
+  // Both engines apply to linear order formulae: their estimates must agree
+  // with each other within the sum of their guarantees, on every seed.
+  for (const RealFormula& f : OrderBattery()) {
+    auto exact = NuExactOrder(f);
+    ASSERT_TRUE(exact.ok());
+    double truth = exact->ToDouble();
+    for (int seed : kSeedBattery) {
+      FprasOptions fopts;
+      fopts.epsilon = 0.1;
+      util::Rng frng(seed);
+      auto fpras = FprasConjunctive(f, fopts, frng);
+      ASSERT_TRUE(fpras.ok());
+      AfprasOptions aopts;
+      aopts.epsilon = 0.02;
+      aopts.delta = 0.001;
+      util::Rng arng(seed);
+      auto afpras = Afpras(f, aopts, arng);
+      ASSERT_TRUE(afpras.ok());
+      double band = 4 * fopts.epsilon * truth + aopts.epsilon;
+      EXPECT_LT(std::fabs(fpras->estimate - afpras->estimate), band)
+          << "seed " << seed << " fpras " << fpras->estimate << " afpras "
+          << afpras->estimate << " truth " << truth;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mudb::measure
