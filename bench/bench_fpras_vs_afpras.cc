@@ -8,22 +8,70 @@
 // The threads axis sweeps the FPRAS over num_threads ∈ {1, 2, 4} and checks
 // the parallel-runtime contract: wall-clock drops with more workers (on
 // hardware that has them) while the estimate stays bit-identical.
+//
+// Flags:
+//   --json=<path>  emit the schema documented in bench_json.h; the
+//                  hnr_kernel_* rows are the raw single-chain hit-and-run
+//                  steps/sec tracked by the checked-in BENCH_sampling.json.
+//   --quick        CI-sized run (fewer dimensions, shorter kernel loops).
 
 #include <cmath>
 #include <cstdio>
 #include <thread>
 
+#include "bench/bench_json.h"
+#include "src/convex/body.h"
+#include "src/convex/sampler.h"
 #include "src/measure/afpras.h"
 #include "src/measure/fpras.h"
 #include "src/measure/nu_exact.h"
 #include "src/util/rng.h"
 #include "src/util/timer.h"
 
-int main() {
+namespace {
+
+// Raw sampler throughput on one representative body: a random cone of n
+// halfspaces through the origin, the unit ball, and one annealing-style
+// inner ball — the constraint mix every FPRAS chain walks on.
+mudb::bench::BenchResult HnrKernelThroughput(int n, int64_t steps) {
+  using namespace mudb;  // NOLINT: bench brevity
+  util::Rng cone_rng(7 + n);
+  convex::ConvexBody body(n);
+  for (int i = 0; i < n; ++i) {
+    geom::Vec a(n);
+    for (int j = 0; j < n; ++j) a[j] = cone_rng.Uniform(-1, 1);
+    // Keep the negative diagonal so the origin stays interior-adjacent.
+    if (a[i] > 0) a[i] = -a[i];
+    body.AddHalfspace(a, 0.0);
+  }
+  body.AddBall(geom::Vec(n, 0.0), 1.0);
+  body.AddBall(geom::Vec(n, 0.0), 0.7);
+  convex::HitAndRunSampler sampler(&body, geom::Vec(n, 0.0));
+  util::Rng rng(42);
+  sampler.Walk(1000, rng);  // warm-up
+  util::WallTimer timer;
+  sampler.Walk(static_cast<int>(steps), rng);
+  double ms = timer.ElapsedMillis();
+  mudb::bench::BenchResult r;
+  r.workload = "hnr_kernel_n" + std::to_string(n);
+  r.threads = 1;
+  r.wall_ms = ms;
+  r.samples_per_sec = steps / (ms / 1e3);
+  r.estimate = sampler.current()[0];  // determinism fingerprint
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace mudb;  // NOLINT: bench brevity
   using constraints::CmpOp;
   using constraints::RealFormula;
   using poly::Polynomial;
+
+  const std::string json_path = bench::JsonFlagPath(argc, argv);
+  const bool quick = bench::QuickFlag(argc, argv);
+  bench::BenchJson json("fpras_vs_afpras");
 
   std::printf("# FPRAS (Thm 7.1) vs AFPRAS (Thm 8.1) on linear cone DNFs\n");
   std::printf("# hardware threads: %u\n", std::thread::hardware_concurrency());
@@ -34,8 +82,10 @@ int main() {
   double sum_speedup = 0.0;
   int rows = 0;
 
+  const int max_n = quick ? 3 : 5;
+  const int64_t kernel_steps = quick ? 200000 : 2000000;
   util::Rng formula_rng(7);
-  for (int n = 2; n <= 5; ++n) {
+  for (int n = 2; n <= max_n; ++n) {
     // A disjunction of two random cones, each cut by n halfspaces through
     // the origin (plus a positivity constraint to keep volumes moderate).
     auto random_cone = [&]() {
@@ -88,6 +138,15 @@ int main() {
       } else if (fpras->estimate != fpras_mu) {
         deterministic = false;
       }
+      bench::BenchResult row;
+      row.workload = "fpras_cone_dnf_n" + std::to_string(n);
+      row.threads = thread_axis[t];
+      row.wall_ms = fpras_ms[t];
+      // Hit-and-run steps/sec: the sampling pipeline's throughput.
+      row.samples_per_sec =
+          static_cast<double>(fpras->sampling_steps) / (fpras_ms[t] / 1e3);
+      row.estimate = fpras->estimate;
+      json.Add(row);
     }
     all_deterministic = all_deterministic && deterministic;
     sum_speedup += fpras_ms[0] / fpras_ms[2];
@@ -100,6 +159,16 @@ int main() {
     auto afpras = measure::Afpras(f, aopts, arng);
     MUDB_CHECK(afpras.ok());
     double afpras_ms = atimer.ElapsedMillis();
+    {
+      bench::BenchResult row;
+      row.workload = "afpras_cone_dnf_n" + std::to_string(n);
+      row.threads = 1;
+      row.wall_ms = afpras_ms;
+      row.samples_per_sec =
+          static_cast<double>(afpras->samples) / (afpras_ms / 1e3);
+      row.estimate = afpras->estimate;
+      json.Add(row);
+    }
 
     double rel = truth > 1e-9 ? std::fabs(fpras_mu / truth - 1.0)
                               : std::fabs(fpras_mu - truth);
@@ -110,6 +179,16 @@ int main() {
         afpras->estimate, afpras_ms, rel, fpras_ms[0] / fpras_ms[2],
         deterministic ? "ok" : "DIFF");
   }
+
+  // Raw kernel throughput (single chain, single thread): the steps/sec
+  // trajectory metric.
+  std::printf("# raw hit-and-run kernel, single chain:\n");
+  for (int n : {2, 3, 4, 5, 8}) {
+    bench::BenchResult row = HnrKernelThroughput(n, kernel_steps);
+    std::printf("#   n=%d: %8.3f Msteps/s\n", n, row.samples_per_sec / 1e6);
+    json.Add(row);
+  }
+
   std::printf("# mean 4-thread speedup: %.2fx; estimates %s across thread "
               "counts\n",
               sum_speedup / rows,
@@ -118,5 +197,6 @@ int main() {
               "(annealing phases), AFPRAS stays cheap — why §9 implements "
               "the AFPRAS. With >= 4 hardware threads the 4t column should "
               "run >= 2x faster than 1t.\n");
+  if (!json.WriteTo(json_path)) return 1;
   return all_deterministic ? 0 : 1;
 }

@@ -1,0 +1,114 @@
+// Minimal JSON emitter for the bench binaries' --json=<path> flag, plus the
+// flag parsing itself. No third-party deps; the schema is deliberately tiny
+// and stable so checked-in BENCH_*.json baselines and CI artifacts stay
+// comparable across PRs (see BUILDING.md, "Profiling & benchmarks").
+//
+// Schema (schema_version 1):
+//   {
+//     "schema_version": 1,
+//     "bench": "<bench binary name>",
+//     "results": [
+//       {
+//         "workload": "<workload id, stable across runs>",
+//         "threads": <int>,
+//         "wall_ms": <number>,
+//         "samples_per_sec": <number>,   // hit-and-run steps/s for the
+//                                        // sampling benches, estimator
+//                                        // samples/s otherwise
+//         "estimate": <number>           // the value computed, as a
+//                                        // determinism fingerprint
+//       }, ...
+//     ]
+//   }
+
+#ifndef MUDB_BENCH_BENCH_JSON_H_
+#define MUDB_BENCH_BENCH_JSON_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace mudb::bench {
+
+struct BenchResult {
+  std::string workload;
+  int threads = 1;
+  double wall_ms = 0.0;
+  double samples_per_sec = 0.0;
+  double estimate = 0.0;
+};
+
+/// Returns the path given via --json=<path>, or "" when the flag is absent.
+inline std::string JsonFlagPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
+  }
+  return "";
+}
+
+/// True when --quick was passed (CI-sized workloads).
+inline bool QuickFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return false;
+}
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void Add(BenchResult result) { results_.push_back(std::move(result)); }
+
+  /// Writes the document; returns false (with a note on stderr) on IO
+  /// failure. No-op and true when `path` is empty.
+  bool WriteTo(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"schema_version\": 1,\n  \"bench\": \"%s\",\n",
+                 bench_name_.c_str());
+    std::fprintf(f, "  \"results\": [");
+    for (size_t i = 0; i < results_.size(); ++i) {
+      const BenchResult& r = results_[i];
+      std::fprintf(f,
+                   "%s\n    {\"workload\": \"%s\", \"threads\": %d, "
+                   "\"wall_ms\": %s, \"samples_per_sec\": %s, "
+                   "\"estimate\": %s}",
+                   i == 0 ? "" : ",", r.workload.c_str(), r.threads,
+                   Num(r.wall_ms, 9).c_str(),
+                   Num(r.samples_per_sec, 9).c_str(),
+                   // 17 significant digits round-trip a double exactly: the
+                   // fingerprint must expose last-bit nondeterminism.
+                   Num(r.estimate, 17).c_str());
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    bool ok = std::fclose(f) == 0;
+    if (!ok) {
+      std::fprintf(stderr, "bench_json: write to %s failed\n", path.c_str());
+    }
+    return ok;
+  }
+
+ private:
+  // JSON has no inf/nan literals; a degenerate measurement becomes 0.
+  static std::string Num(double v, int digits) {
+    if (!std::isfinite(v)) return "0";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+    return buf;
+  }
+
+  std::string bench_name_;
+  std::vector<BenchResult> results_;
+};
+
+}  // namespace mudb::bench
+
+#endif  // MUDB_BENCH_BENCH_JSON_H_

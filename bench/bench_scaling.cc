@@ -5,11 +5,19 @@
 //   (c) worker threads for the sampling loops (the parallel runtime of
 //       util/thread_pool.h) — per-candidate estimates are bit-identical
 //       across thread counts, only the wall-clock moves.
+//
+// Flags:
+//   --json=<path>  emit the schema documented in bench_json.h (one row per
+//                  database size × sampling leg).
+//   --quick        CI-sized run (smaller databases).
 
 #include <cstdio>
 #include <optional>
+#include <string>
 #include <thread>
+#include <vector>
 
+#include "bench/bench_json.h"
 #include "src/datagen/datagen.h"
 #include "src/engine/eval.h"
 #include "src/measure/measure.h"
@@ -17,17 +25,23 @@
 #include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mudb;  // NOLINT: bench brevity
   const char* sql =
       "SELECT P.seg FROM Products P, Market M "
       "WHERE P.seg = M.seg AND P.rrp * P.dis <= M.rrp * M.dis LIMIT 25";
 
+  const std::string json_path = bench::JsonFlagPath(argc, argv);
+  const bool quick = bench::QuickFlag(argc, argv);
+  bench::BenchJson json("scaling");
+
   std::printf("# Scaling: Competitive Advantage, eps = 0.02\n");
   std::printf("# hardware threads: %u\n", std::thread::hardware_concurrency());
   std::printf("# %9s %9s %10s %12s %16s %16s %16s\n", "products", "tuples",
               "nulls", "join_ms", "mc_restrict_ms", "mc_full_ms", "mc_4t_ms");
-  for (int64_t products : {10000, 20000, 40000, 80000}) {
+  std::vector<int64_t> sizes{10000, 20000, 40000, 80000};
+  if (quick) sizes = {10000, 20000};
+  for (int64_t products : sizes) {
     datagen::SalesConfig config;
     config.num_products = products;
     config.num_orders = products * 3 / 5;
@@ -45,10 +59,13 @@ int main() {
 
     // (b) restrict on/off at 1 thread, (c) restrict on at 4 threads.
     struct Leg {
+      const char* name;
       bool restrict_vars;
       int num_threads;
       double ms;
-    } legs[] = {{true, 1, 0}, {false, 1, 0}, {true, 4, 0}};
+    } legs[] = {{"restrict", true, 1, 0},
+                {"full", false, 1, 0},
+                {"restrict_4t", true, 4, 0}};
     for (Leg& leg : legs) {
       measure::MeasureOptions opts;
       opts.method = measure::Method::kAfpras;
@@ -63,11 +80,25 @@ int main() {
         opts.pool = &*pool;
       }
       util::WallTimer timer;
+      int64_t samples = 0;
+      double mu_sum = 0.0;
       for (const engine::Candidate& c : result->candidates) {
         auto mu = measure::ComputeNu(c.constraint, opts);
         MUDB_CHECK(mu.ok());
+        samples += mu->samples;
+        mu_sum += mu->value;
       }
       leg.ms = timer.ElapsedMillis();
+      bench::BenchResult row;
+      row.workload = "sales_products" + std::to_string(products) + "_" +
+                     leg.name;
+      row.threads = leg.num_threads;
+      row.wall_ms = leg.ms;
+      row.samples_per_sec = static_cast<double>(samples) / (leg.ms / 1e3);
+      // Sum of per-candidate μ values: a determinism fingerprint for the
+      // whole candidate loop.
+      row.estimate = mu_sum;
+      json.Add(row);
     }
     std::printf("  %9lld %9zu %10zu %12.2f %16.2f %16.2f %16.2f\n",
                 static_cast<long long>(products), db->TotalTuples(),
@@ -80,5 +111,5 @@ int main() {
       "# optimization ('saves a considerable amount of calls to the sampling\n"
       "# routine'). mc_4t_ms tracks mc_restrict_ms divided by the worker\n"
       "# count once per-candidate sample counts amortize the pool.\n");
-  return 0;
+  return json.WriteTo(json_path) ? 0 : 1;
 }

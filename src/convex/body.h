@@ -7,6 +7,13 @@
 // intersected with the unit ball). The annealing volume estimator additionally
 // intersects with shrinking balls around an inner point, so the body type
 // supports any number of ball constraints.
+//
+// Storage is cache-contiguous for the sampling hot path: the halfspace
+// normals live in one flat row-major m×n buffer (plus the offset vector b),
+// and ball constraints are SoA (flat k×n centers, radii, squared radii).
+// A structure-of-pairs mirror is maintained for cold callers of
+// halfspaces()/balls(); both views describe the same constraints at all
+// times, so there is no finalize step and copies stay cheap value semantics.
 
 #ifndef MUDB_SRC_CONVEX_BODY_H_
 #define MUDB_SRC_CONVEX_BODY_H_
@@ -16,6 +23,7 @@
 #include <vector>
 
 #include "src/geom/geometry.h"
+#include "src/lp/simplex.h"
 #include "src/util/status.h"
 
 namespace mudb::convex {
@@ -38,11 +46,26 @@ class ConvexBody {
   void AddHalfspace(geom::Vec a, double b);
   /// Adds ||x - center|| <= radius.
   void AddBall(geom::Vec center, double radius);
+  /// Replaces the radius of ball `index` in place. The annealing volume
+  /// estimator reuses one phase body across its radius schedule instead of
+  /// copying the whole constraint system per phase.
+  void SetBallRadius(int index, double radius);
 
   const std::vector<std::pair<geom::Vec, double>>& halfspaces() const {
     return halfspaces_;
   }
   const std::vector<BallConstraint>& balls() const { return balls_; }
+
+  /// Flat views for the sampling kernels. Row-major: halfspace i is
+  /// halfspace_matrix()[i*dim() .. i*dim()+dim()), ball k's center is
+  /// ball_centers()[k*dim() .. k*dim()+dim()). Pointers are invalidated by
+  /// AddHalfspace/AddBall (but not by SetBallRadius).
+  int num_halfspaces() const { return static_cast<int>(b_.size()); }
+  int num_balls() const { return static_cast<int>(ball_radius2_.size()); }
+  const double* halfspace_matrix() const { return a_flat_.data(); }
+  const double* offsets() const { return b_.data(); }
+  const double* ball_centers() const { return ball_centers_flat_.data(); }
+  const double* ball_radius2() const { return ball_radius2_.data(); }
 
   bool Contains(const geom::Vec& x) const;
 
@@ -54,6 +77,12 @@ class ConvexBody {
 
  private:
   int dim_;
+  // Hot, flat storage (primary for the kernels).
+  std::vector<double> a_flat_;             // m × dim, row-major
+  std::vector<double> b_;                  // m
+  std::vector<double> ball_centers_flat_;  // k × dim, row-major
+  std::vector<double> ball_radius2_;       // k
+  // Cold mirror for structured accessors.
   std::vector<std::pair<geom::Vec, double>> halfspaces_;
   std::vector<BallConstraint> balls_;
 };
@@ -64,10 +93,34 @@ struct InnerBall {
   double radius;
 };
 
-/// Finds an inner ball of {z : C z <= 0} ∩ B(0, outer_radius) via LP
+/// Finds inner balls of cones {z : C z <= 0} ∩ B(0, outer_radius) via LP
 /// (maximize the margin against the normalized halfspaces over a centered
-/// box). Returns nullopt when the cone has (numerically) empty interior, in
-/// which case its volume is 0.
+/// box). One finder instance amortizes the LP workspace — the tableau
+/// buffers and the fixed box/margin constraint rows, which every cone
+/// shares — across the per-cone solves of the FPRAS pipeline. The result
+/// for a cone is a function of that cone alone (every solve rebuilds its
+/// full tableau in the reused buffers), so reuse order cannot perturb it.
+class InnerBallFinder {
+ public:
+  InnerBallFinder(int dim, double outer_radius);
+
+  /// Returns nullopt when the cone has (numerically) empty interior, in
+  /// which case its volume is 0.
+  std::optional<InnerBall> Find(
+      const std::vector<std::pair<geom::Vec, double>>& halfspaces);
+
+ private:
+  int dim_;
+  double outer_radius_;
+  lp::SimplexSolver solver_;
+  std::vector<double> rows_;   // flat (n+1)-wide constraint rows
+  std::vector<double> rhs_;
+  std::vector<double> fixed_rows_;  // box + margin-cap rows, built once
+  std::vector<double> fixed_rhs_;
+  std::vector<double> objective_;
+};
+
+/// One-shot convenience over InnerBallFinder (cold callers, tests).
 std::optional<InnerBall> FindInnerBall(
     const std::vector<std::pair<geom::Vec, double>>& halfspaces, int dim,
     double outer_radius);

@@ -1,8 +1,21 @@
 // Hit-and-run: a Markov chain whose stationary distribution is uniform over a
 // convex body. Used as the sampling oracle of the volume estimators.
+//
+// The step kernel is allocation-free and touches each constraint once. The
+// sampler maintains ax = A·x (one entry per halfspace) and ||x − c_k||² (one
+// per ball) incrementally: a step computes A·d fused with the chord interval,
+// the move is ax += t·(A·d) in O(m), and the post-step containment guard
+// compares the cached products against b instead of re-scanning the
+// constraint matrix. Caches are recomputed from scratch on a fixed step
+// schedule to keep incremental rounding drift below the containment
+// tolerances; the schedule depends only on the step count, so chains remain
+// a pure function of (body, start, rng stream) — the thread-count
+// bit-invariance contract of the estimators is unaffected.
 
 #ifndef MUDB_SRC_CONVEX_SAMPLER_H_
 #define MUDB_SRC_CONVEX_SAMPLER_H_
+
+#include <vector>
 
 #include "src/convex/body.h"
 #include "src/geom/geometry.h"
@@ -11,7 +24,10 @@
 namespace mudb::convex {
 
 /// Hit-and-run sampler over a ConvexBody. The chain must start at an interior
-/// point (e.g. the center of an inner ball).
+/// point (e.g. the center of an inner ball). The body must not gain
+/// constraints while a sampler walks on it (SetBallRadius between walks is
+/// fine: call set_current to resync, or construct samplers after the radius
+/// is set, as the annealing estimator does).
 class HitAndRunSampler {
  public:
   /// `body` must outlive the sampler; `start` must lie inside the body.
@@ -25,11 +41,24 @@ class HitAndRunSampler {
   void Walk(int n, util::Rng& rng);
 
   const geom::Vec& current() const { return x_; }
-  void set_current(geom::Vec x) { x_ = std::move(x); }
+  void set_current(geom::Vec x);
 
  private:
+  /// Recomputes the cached constraint products from x_ exactly.
+  void RefreshProducts();
+  /// x += t·d and the O(m + k) cache update that goes with it.
+  void ApplyMove(double t);
+
   const ConvexBody* body_;
   geom::Vec x_;
+  // Preallocated step scratch: direction, A·d, (x−c_k)·d.
+  geom::Vec d_;
+  std::vector<double> ad_;
+  std::vector<double> ball_bq_;
+  // Incrementally maintained products: A·x and ||x − c_k||².
+  std::vector<double> ax_;
+  std::vector<double> ball_dist2_;
+  int steps_since_refresh_ = 0;
 };
 
 }  // namespace mudb::convex

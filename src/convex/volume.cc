@@ -52,9 +52,14 @@ VolumeEstimate EstimateVolume(const ConvexBody& body, const InnerBall& inner,
   const int chunks = NumChunks(per_phase);
   std::vector<int> inside(chunks);
   util::Rng base = rng.Fork();
+  // One phase body for the whole schedule: only the annealing ball's radius
+  // changes between phases, so copying the constraint system per phase is
+  // pure overhead.
+  ConvexBody phase_body = body;
+  phase_body.AddBall(inner.center, radii[phases]);
+  const int anneal_ball = phase_body.num_balls() - 1;
   for (int i = 1; i <= phases; ++i) {
-    ConvexBody phase_body = body;
-    phase_body.AddBall(inner.center, radii[i]);
+    phase_body.SetBallRadius(anneal_ball, radii[i]);
     double prev_r2 = radii[i - 1] * radii[i - 1];
     util::Rng phase_rng = base.Split(i);
     auto run_chunk = [&](int64_t c) {

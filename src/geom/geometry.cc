@@ -26,6 +26,11 @@ Vec AddScaled(const Vec& a, double s, const Vec& b) {
   return out;
 }
 
+void AddScaledInPlace(Vec& a, double s, const Vec& b) {
+  MUDB_DCHECK(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) a[i] += s * b[i];
+}
+
 double BallVolume(int n, double r) {
   MUDB_CHECK(n >= 0);
   // log V = (n/2)·log π − lgamma(n/2 + 1) + n·log r.
@@ -35,16 +40,22 @@ double BallVolume(int n, double r) {
 }
 
 Vec SampleUnitSphere(int n, util::Rng& rng) {
+  Vec v;
+  SampleUnitSphere(n, rng, v);
+  return v;
+}
+
+void SampleUnitSphere(int n, util::Rng& rng, Vec& out) {
   MUDB_CHECK(n >= 1);
-  Vec v(n);
+  out.resize(n);
   double norm = 0.0;
   // Regenerate in the (astronomically unlikely) case of a zero vector.
   do {
-    for (int i = 0; i < n; ++i) v[i] = rng.Gaussian();
-    norm = Norm(v);
+    for (int i = 0; i < n; ++i) out[i] = rng.Gaussian();
+    norm = Norm(out);
   } while (norm == 0.0);
-  for (int i = 0; i < n; ++i) v[i] /= norm;
-  return v;
+  double inv = 1.0 / norm;
+  for (int i = 0; i < n; ++i) out[i] *= inv;
 }
 
 Vec SampleUnitBall(int n, util::Rng& rng) {

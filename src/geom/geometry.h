@@ -19,6 +19,8 @@ double Norm(const Vec& v);
 double Dot(const Vec& a, const Vec& b);
 /// a + s·b.
 Vec AddScaled(const Vec& a, double s, const Vec& b);
+/// a += s·b, no allocation (hit-and-run inner loop).
+void AddScaledInPlace(Vec& a, double s, const Vec& b);
 
 /// Volume of the n-dimensional ball of radius r (exact closed form
 /// π^{n/2} r^n / Γ(n/2 + 1); n = 0 gives 1, matching Vol(R^0) = 1 in §4).
@@ -27,6 +29,10 @@ double BallVolume(int n, double r = 1.0);
 /// A point uniformly distributed on the unit sphere S^{n-1}: normalized
 /// vector of n iid standard Gaussians.
 Vec SampleUnitSphere(int n, util::Rng& rng);
+
+/// In-place variant for hot loops: fills `out` (resized to n) with a uniform
+/// sphere point. Consumes the RNG identically to the allocating overload.
+void SampleUnitSphere(int n, util::Rng& rng, Vec& out);
 
 /// A point uniformly distributed in the unit ball B^n: sphere sample scaled
 /// by U^{1/n}.

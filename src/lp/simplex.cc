@@ -11,139 +11,138 @@ namespace {
 
 constexpr double kEps = 1e-9;
 
-// Dense simplex tableau. Columns: structural variables (already split and
-// slacked by the caller), then the rhs. The objective row holds reduced
-// costs for maximization; a column with positive reduced cost can improve.
-struct Tableau {
-  std::vector<std::vector<double>> rows;  // m x (n_cols + 1)
-  std::vector<int> basis;                 // basic variable per row
-  std::vector<double> obj;                // n_cols + 1 (last = objective value)
-  int n_cols = 0;
-
-  void Pivot(int r, int c) {
-    double piv = rows[r][c];
-    MUDB_DCHECK(std::fabs(piv) > kEps);
-    for (double& v : rows[r]) v /= piv;
-    for (int i = 0; i < static_cast<int>(rows.size()); ++i) {
-      if (i == r) continue;
-      double f = rows[i][c];
-      if (std::fabs(f) < kEps) continue;
-      for (int j = 0; j <= n_cols; ++j) rows[i][j] -= f * rows[r][j];
-    }
-    double f = obj[c];
-    if (std::fabs(f) > kEps) {
-      for (int j = 0; j <= n_cols; ++j) obj[j] -= f * rows[r][j];
-    }
-    basis[r] = c;
-  }
-
-  // Makes the reduced cost of every basic variable zero.
-  void PriceOut() {
-    for (size_t r = 0; r < rows.size(); ++r) {
-      double f = obj[basis[r]];
-      if (std::fabs(f) > kEps) {
-        for (int j = 0; j <= n_cols; ++j) obj[j] -= f * rows[r][j];
-      }
-    }
-  }
-
-  // Runs the simplex loop with Bland's rule over columns < allowed_cols.
-  // Returns false if unbounded.
-  bool Run(int allowed_cols) {
-    for (;;) {
-      int enter = -1;
-      for (int j = 0; j < allowed_cols; ++j) {
-        if (obj[j] > kEps) {
-          enter = j;
-          break;
-        }
-      }
-      if (enter < 0) return true;  // optimal
-      int leave = -1;
-      double best_ratio = std::numeric_limits<double>::infinity();
-      for (int r = 0; r < static_cast<int>(rows.size()); ++r) {
-        double coeff = rows[r][enter];
-        if (coeff > kEps) {
-          double ratio = rows[r][n_cols] / coeff;
-          if (ratio < best_ratio - kEps ||
-              (ratio < best_ratio + kEps &&
-               (leave < 0 || basis[r] < basis[leave]))) {
-            best_ratio = ratio;
-            leave = r;
-          }
-        }
-      }
-      if (leave < 0) return false;  // unbounded
-      Pivot(leave, enter);
-    }
-  }
-};
-
 }  // namespace
 
-LpResult SolveLp(const std::vector<std::vector<double>>& a,
-                 const std::vector<double>& b, const std::vector<double>& c) {
+// Tableau layout: columns are the structural variables (x⁺, x⁻, slack,
+// artificial), then the rhs; the objective row holds reduced costs for
+// maximization, so a column with positive reduced cost can improve.
+
+void SimplexSolver::Pivot(int r, int c) {
+  double* row_r = Row(r);
+  double piv = row_r[c];
+  MUDB_DCHECK(std::fabs(piv) > kEps);
+  for (int j = 0; j <= n_cols_; ++j) row_r[j] /= piv;
+  for (int i = 0; i < m_; ++i) {
+    if (i == r) continue;
+    double* row_i = Row(i);
+    double f = row_i[c];
+    if (std::fabs(f) < kEps) continue;
+    for (int j = 0; j <= n_cols_; ++j) row_i[j] -= f * row_r[j];
+  }
+  double f = obj_[c];
+  if (std::fabs(f) > kEps) {
+    for (int j = 0; j <= n_cols_; ++j) obj_[j] -= f * row_r[j];
+  }
+  basis_[r] = c;
+}
+
+// Makes the reduced cost of every basic variable zero.
+void SimplexSolver::PriceOut() {
+  for (int r = 0; r < m_; ++r) {
+    double f = obj_[basis_[r]];
+    if (std::fabs(f) > kEps) {
+      const double* row_r = Row(r);
+      for (int j = 0; j <= n_cols_; ++j) obj_[j] -= f * row_r[j];
+    }
+  }
+}
+
+// Runs the simplex loop with Bland's rule over columns < allowed_cols.
+// Returns false if unbounded.
+bool SimplexSolver::Run(int allowed_cols) {
+  for (;;) {
+    int enter = -1;
+    for (int j = 0; j < allowed_cols; ++j) {
+      if (obj_[j] > kEps) {
+        enter = j;
+        break;
+      }
+    }
+    if (enter < 0) return true;  // optimal
+    int leave = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < m_; ++r) {
+      double coeff = Row(r)[enter];
+      if (coeff > kEps) {
+        double ratio = Row(r)[n_cols_] / coeff;
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             (leave < 0 || basis_[r] < basis_[leave]))) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave < 0) return false;  // unbounded
+    Pivot(leave, enter);
+  }
+}
+
+LpResult SimplexSolver::SolveFlat(const double* a, const double* b, int m,
+                                  const std::vector<double>& c) {
   const int n = static_cast<int>(c.size());
-  const int m = static_cast<int>(a.size());
-  MUDB_CHECK(static_cast<int>(b.size()) == m);
-  for (const auto& row : a) MUDB_CHECK(static_cast<int>(row.size()) == n);
 
   // Columns: x+ (n), x- (n), slack (m), artificial (up to m).
   int num_artificial = 0;
-  for (double bi : b) {
-    if (bi < 0) ++num_artificial;
+  for (int i = 0; i < m; ++i) {
+    if (b[i] < 0) ++num_artificial;
   }
   const int slack0 = 2 * n;
   const int art0 = slack0 + m;
-  const int n_cols = art0 + num_artificial;
+  m_ = m;
+  n_cols_ = art0 + num_artificial;
+  stride_ = n_cols_ + 1;
 
-  Tableau t;
-  t.n_cols = n_cols;
-  t.rows.assign(m, std::vector<double>(n_cols + 1, 0.0));
-  t.basis.assign(m, -1);
+  // assign() (not resize) so every cell a solve reads is rewritten: the
+  // solver stays a pure function of (a, b, c) across buffer reuse.
+  tab_.assign(static_cast<size_t>(m_) * stride_, 0.0);
+  basis_.assign(m_, -1);
   int art = art0;
   for (int i = 0; i < m; ++i) {
+    double* row = Row(i);
+    const double* a_row = a + static_cast<size_t>(i) * n;
     double sign = b[i] < 0 ? -1.0 : 1.0;
     for (int j = 0; j < n; ++j) {
-      t.rows[i][j] = sign * a[i][j];
-      t.rows[i][n + j] = -sign * a[i][j];
+      row[j] = sign * a_row[j];
+      row[n + j] = -sign * a_row[j];
     }
-    t.rows[i][slack0 + i] = sign;  // slack keeps coefficient ±1
-    t.rows[i][n_cols] = sign * b[i];
+    row[slack0 + i] = sign;  // slack keeps coefficient ±1
+    row[n_cols_] = sign * b[i];
     if (b[i] < 0) {
-      t.rows[i][art] = 1.0;
-      t.basis[i] = art;
+      row[art] = 1.0;
+      basis_[i] = art;
       ++art;
     } else {
-      t.basis[i] = slack0 + i;
+      basis_[i] = slack0 + i;
     }
   }
 
   // Phase 1: maximize -(sum of artificials).
   if (num_artificial > 0) {
-    t.obj.assign(n_cols + 1, 0.0);
-    for (int j = art0; j < n_cols; ++j) t.obj[j] = -1.0;
-    t.PriceOut();
-    bool bounded = t.Run(n_cols);
+    obj_.assign(stride_, 0.0);
+    for (int j = art0; j < n_cols_; ++j) obj_[j] = -1.0;
+    PriceOut();
+    bool bounded = Run(n_cols_);
     MUDB_CHECK(bounded);  // phase-1 objective is bounded above by 0
     // The objective cell holds −(current value); phase-1 optimum < 0 means
     // some artificial variable cannot be driven to zero: infeasible.
-    if (t.obj[n_cols] > 1e-7) {
+    if (obj_[n_cols_] > 1e-7) {
       LpResult res;
       res.status = LpStatus::kInfeasible;
       return res;
     }
     // Drive remaining artificials out of the basis where possible.
     for (int r = 0; r < m; ++r) {
-      if (t.basis[r] >= art0) {
+      if (basis_[r] >= art0) {
         int pivot_col = -1;
+        const double* row = Row(r);
         for (int j = 0; j < art0; ++j) {
-          if (std::fabs(t.rows[r][j]) > kEps) {
+          if (std::fabs(row[j]) > kEps) {
             pivot_col = j;
             break;
           }
         }
-        if (pivot_col >= 0) t.Pivot(r, pivot_col);
+        if (pivot_col >= 0) Pivot(r, pivot_col);
         // Otherwise the row is redundant (all-zero over real columns); its
         // artificial stays basic at value 0, which is harmless because
         // phase 2 never lets artificial columns enter.
@@ -152,13 +151,13 @@ LpResult SolveLp(const std::vector<std::vector<double>>& a,
   }
 
   // Phase 2: maximize c·(x+ − x−).
-  t.obj.assign(n_cols + 1, 0.0);
+  obj_.assign(stride_, 0.0);
   for (int j = 0; j < n; ++j) {
-    t.obj[j] = c[j];
-    t.obj[n + j] = -c[j];
+    obj_[j] = c[j];
+    obj_[n + j] = -c[j];
   }
-  t.PriceOut();
-  if (!t.Run(art0)) {
+  PriceOut();
+  if (!Run(art0)) {
     LpResult res;
     res.status = LpStatus::kUnbounded;
     return res;
@@ -168,8 +167,8 @@ LpResult SolveLp(const std::vector<std::vector<double>>& a,
   res.status = LpStatus::kOptimal;
   res.x.assign(n, 0.0);
   for (int r = 0; r < m; ++r) {
-    int v = t.basis[r];
-    double val = t.rows[r][n_cols];
+    int v = basis_[r];
+    double val = Row(r)[n_cols_];
     if (v < n) {
       res.x[v] += val;
     } else if (v < 2 * n) {
@@ -180,6 +179,27 @@ LpResult SolveLp(const std::vector<std::vector<double>>& a,
   for (int j = 0; j < n; ++j) value += c[j] * res.x[j];
   res.objective = value;
   return res;
+}
+
+LpResult SimplexSolver::Solve(const std::vector<std::vector<double>>& a,
+                              const std::vector<double>& b,
+                              const std::vector<double>& c) {
+  const int n = static_cast<int>(c.size());
+  const int m = static_cast<int>(a.size());
+  MUDB_CHECK(static_cast<int>(b.size()) == m);
+  a_scratch_.resize(static_cast<size_t>(m) * n);
+  for (int i = 0; i < m; ++i) {
+    MUDB_CHECK(static_cast<int>(a[i].size()) == n);
+    double* row = a_scratch_.data() + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) row[j] = a[i][j];
+  }
+  return SolveFlat(a_scratch_.data(), b.data(), m, c);
+}
+
+LpResult SolveLp(const std::vector<std::vector<double>>& a,
+                 const std::vector<double>& b, const std::vector<double>& c) {
+  SimplexSolver solver;
+  return solver.Solve(a, b, c);
 }
 
 bool IsFeasible(const std::vector<std::vector<double>>& a,

@@ -8,10 +8,18 @@
 // cycling. Problem sizes in mudb are tiny (n, m in the tens): the FPRAS of
 // Thm. 7.1 uses the LP to (a) discard empty cone disjuncts and (b) find an
 // inner ball seeding the annealed volume estimator.
+//
+// SimplexSolver is the allocation-conscious entry point: one instance owns
+// the tableau/basis buffers and reuses them across solves, which matters in
+// the FPRAS per-cone inner-ball loop where hundreds of near-identical LPs
+// are solved back to back. Each solve fully reinitializes the buffers it
+// reads, so a solver is a pure function of its inputs — reuse order cannot
+// change any result. SolveLp/IsFeasible remain as one-shot conveniences.
 
 #ifndef MUDB_SRC_LP_SIMPLEX_H_
 #define MUDB_SRC_LP_SIMPLEX_H_
 
+#include <cstddef>
 #include <vector>
 
 namespace mudb::lp {
@@ -31,7 +39,35 @@ struct LpResult {
   double objective = 0.0;
 };
 
-/// Solves max c·x s.t. A x <= b over free x. `a` has one row per constraint;
+/// Reusable dense-simplex workspace. Not thread-safe; give each worker its
+/// own instance.
+class SimplexSolver {
+ public:
+  /// Solves max c·x s.t. A x <= b over free x, where `a` is row-major flat
+  /// with m rows of n = c.size() entries.
+  LpResult SolveFlat(const double* a, const double* b, int m,
+                     const std::vector<double>& c);
+
+  /// Structured-input convenience; rows of `a` must all have size c.size().
+  LpResult Solve(const std::vector<std::vector<double>>& a,
+                 const std::vector<double>& b, const std::vector<double>& c);
+
+ private:
+  double* Row(int r) { return tab_.data() + static_cast<size_t>(r) * stride_; }
+  void Pivot(int r, int c);
+  void PriceOut();
+  bool Run(int allowed_cols);  // false if unbounded
+
+  int m_ = 0;
+  int n_cols_ = 0;
+  int stride_ = 0;                  // n_cols_ + 1 (rhs in the last column)
+  std::vector<double> tab_;         // m_ × stride_, reused across solves
+  std::vector<int> basis_;          // basic variable per row
+  std::vector<double> obj_;         // stride_ (last = objective value)
+  std::vector<double> a_scratch_;   // flattening buffer for Solve()
+};
+
+/// One-shot solve of max c·x s.t. A x <= b. `a` has one row per constraint;
 /// all rows must have size == c.size().
 LpResult SolveLp(const std::vector<std::vector<double>>& a,
                  const std::vector<double>& b, const std::vector<double>& c);

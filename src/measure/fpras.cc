@@ -1,5 +1,6 @@
 #include "src/measure/fpras.h"
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
 #include <utility>
@@ -117,9 +118,18 @@ util::StatusOr<FprasResult> FprasConjunctive(
         util::ThreadPool::ResolveThreadCount(options.num_threads));
     pool = &*local_pool;
   }
+  // Chunked so each task reuses one InnerBallFinder (LP tableau scratch and
+  // the shared box/margin rows) across its cones. The grid is a function of
+  // the cone count alone and each cone's result depends only on that cone,
+  // so the outcome is identical for any thread count.
   std::vector<std::optional<convex::InnerBall>> inners(cones.size());
-  pool->ParallelFor(static_cast<int64_t>(cones.size()), [&](int64_t i) {
-    inners[i] = convex::FindInnerBall(cones[i], dim, 1.0);
+  const int num_cones = static_cast<int>(cones.size());
+  const int lp_chunks = std::min(num_cones, 64);
+  pool->ParallelFor(lp_chunks, [&](int64_t c) {
+    convex::InnerBallFinder finder(dim, 1.0);
+    for (int i = static_cast<int>(c); i < num_cones; i += lp_chunks) {
+      inners[i] = finder.Find(cones[i]);
+    }
   });
   std::vector<volume::SeededBody> bodies;
   for (size_t i = 0; i < cones.size(); ++i) {
@@ -145,6 +155,7 @@ util::StatusOr<FprasResult> FprasConjunctive(
   MUDB_ASSIGN_OR_RETURN(volume::UnionVolumeResult uv,
                         volume::EstimateUnionVolume(bodies, uopts, rng));
   result.estimate = uv.volume / geom::BallVolume(dim, 1.0);
+  result.sampling_steps = uv.steps;
   return result;
 }
 

@@ -53,6 +53,9 @@ struct FprasResult {
   int active_disjuncts = 0;
   /// Dimension after variable restriction.
   int sampled_dimension = 0;
+  /// Total hit-and-run steps taken by the sampling pipeline (0 on trivial
+  /// paths); steps / wall-time is the throughput the bench JSON records.
+  int64_t sampling_steps = 0;
   /// True when the formula collapsed to a trivial 0/1 without sampling.
   bool trivial = false;
 };

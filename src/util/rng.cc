@@ -1,0 +1,77 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+namespace mudb::util {
+
+namespace internal {
+
+namespace {
+
+// Rightmost layer edge of the 256-layer standard-normal ziggurat and its
+// reciprocal (Marsaglia–Tsang; the x_1 for which the 256-rectangle
+// construction closes).
+constexpr double kZigR = 3.6541528853610088;
+constexpr double kZigInvR = 1.0 / kZigR;
+constexpr double kM52 = 4503599627370496.0;  // 2^52
+
+}  // namespace
+
+ZigguratTables::ZigguratTables() {
+  double dn = kZigR;
+  double tn = kZigR;
+  double f = std::exp(-0.5 * dn * dn);
+  // Common layer area: rightmost rectangle plus the unnormalized Gaussian
+  // tail mass beyond it.
+  double v = dn * f + std::sqrt(M_PI / 2.0) * std::erfc(dn / std::sqrt(2.0));
+  double q = v / f;
+  ki[0] = static_cast<uint64_t>((dn / q) * kM52);
+  ki[1] = 0;
+  wi[0] = q / kM52;
+  wi[255] = dn / kM52;
+  fi[0] = 1.0;
+  fi[255] = f;
+  for (int i = 254; i >= 1; --i) {
+    dn = std::sqrt(-2.0 * std::log(v / dn + std::exp(-0.5 * dn * dn)));
+    ki[i + 1] = static_cast<uint64_t>((dn / tn) * kM52);
+    tn = dn;
+    fi[i] = std::exp(-0.5 * dn * dn);
+    wi[i] = dn / kM52;
+  }
+}
+
+const ZigguratTables& Ziggurat() {
+  static const ZigguratTables tables;
+  return tables;
+}
+
+}  // namespace internal
+
+bool Rng::GaussianSlow(int idx, bool neg, double x, double* out) {
+  const internal::ZigguratTables& zig = internal::Ziggurat();
+  if (idx == 0) {
+    // Tail layer: sample x > R from the Gaussian tail via the standard
+    // double-exponential rejection (Marsaglia 1964).
+    double xx;
+    double yy;
+    do {
+      // log1p(-u) = log(1 - u) with 1 - u in (0, 1]: never -inf for
+      // u ∈ [0, 1).
+      xx = -internal::kZigInvR * std::log1p(-Uniform01());
+      yy = -std::log1p(-Uniform01());
+    } while (yy + yy < xx * xx);
+    double r = internal::kZigR + xx;
+    *out = neg ? -r : r;
+    return true;
+  }
+  // Wedge between the layer rectangles: accept against the true density.
+  double f_hi = zig.fi[idx - 1];
+  double f_lo = zig.fi[idx];
+  if (f_lo + Uniform01() * (f_hi - f_lo) < std::exp(-0.5 * x * x)) {
+    *out = neg ? -x : x;
+    return true;
+  }
+  return false;  // rejected: redraw a fresh layer
+}
+
+}  // namespace mudb::util

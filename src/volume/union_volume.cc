@@ -41,6 +41,7 @@ util::StatusOr<UnionVolumeResult> EstimateUnionVolume(
         bodies[i].body, bodies[i].inner, bodies[i].outer_radius_bound,
         options.body_volume, body_rng);
     result.body_volumes[i] = est.volume;
+    result.steps += est.steps;
     total += est.volume;
   }
   if (total <= 0.0) return result;
@@ -63,6 +64,7 @@ util::StatusOr<UnionVolumeResult> EstimateUnionVolume(
 
   const int chunks = NumChunks(num_samples, m);
   std::vector<double> partial(chunks);
+  std::vector<int64_t> chunk_steps(chunks);
   auto run_chunk = [&](int64_t c) {
     int samples = num_samples / chunks + (c < num_samples % chunks ? 1 : 0);
     util::Rng chunk_rng = base.Split(m + c);
@@ -71,6 +73,7 @@ util::StatusOr<UnionVolumeResult> EstimateUnionVolume(
     // sample path is a function of its substream alone.
     std::vector<std::unique_ptr<convex::HitAndRunSampler>> samplers(m);
     double sum_inv = 0.0;
+    int64_t steps = 0;
     for (int s = 0; s < samples; ++s) {
       double u = chunk_rng.Uniform01();
       int pick = static_cast<int>(
@@ -80,8 +83,10 @@ util::StatusOr<UnionVolumeResult> EstimateUnionVolume(
         samplers[pick] = std::make_unique<convex::HitAndRunSampler>(
             &bodies[pick].body, bodies[pick].inner.center);
         samplers[pick]->Walk(10 * walk, chunk_rng);  // burn-in
+        steps += 10 * walk;
       }
       samplers[pick]->Walk(walk, chunk_rng);
+      steps += walk;
       const geom::Vec& x = samplers[pick]->current();
       int owners = 0;
       for (int j = 0; j < m; ++j) {
@@ -92,12 +97,16 @@ util::StatusOr<UnionVolumeResult> EstimateUnionVolume(
       sum_inv += 1.0 / owners;
     }
     partial[c] = sum_inv;
+    chunk_steps[c] = steps;
   };
   util::ThreadPool::RunGrid(options.pool, chunks, run_chunk);
   // Fixed-order reduction: float addition is not associative, so summing in
   // chunk order is what makes the estimate independent of scheduling.
   double sum_inv = 0.0;
-  for (int c = 0; c < chunks; ++c) sum_inv += partial[c];
+  for (int c = 0; c < chunks; ++c) {
+    sum_inv += partial[c];
+    result.steps += chunk_steps[c];
+  }
   result.volume = total * sum_inv / num_samples;
   return result;
 }

@@ -19,6 +19,7 @@
 #ifndef MUDB_SRC_VOLUME_UNION_VOLUME_H_
 #define MUDB_SRC_VOLUME_UNION_VOLUME_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/convex/body.h"
@@ -48,6 +49,9 @@ struct UnionVolumeResult {
   double volume = 0.0;
   /// Per-body volume estimates (0 for bodies with empty interior).
   std::vector<double> body_volumes;
+  /// Total hit-and-run steps taken (annealing phases + Karp–Luby walks);
+  /// the denominator of the steps/sec throughput metric in bench JSON.
+  int64_t steps = 0;
 };
 
 /// A body together with its inner ball (bodies without one have volume 0 and

@@ -100,6 +100,66 @@ TEST(InnerBallTest, TrivialAndInfeasibleZeroRows) {
   EXPECT_FALSE(FindInnerBall(impossible, 2, 1.0).has_value());
 }
 
+TEST(InnerBallTest, FinderReuseIsPure) {
+  // A reused InnerBallFinder must return bit-identical inner balls to
+  // one-shot FindInnerBall calls for every cone, in any order — the
+  // guarantee that lets the FPRAS chunk cones across a finder without
+  // perturbing the estimate.
+  util::Rng rng(77);
+  std::vector<std::vector<std::pair<geom::Vec, double>>> cones;
+  for (int c = 0; c < 8; ++c) {
+    int dim = 2 + c % 3;
+    std::vector<std::pair<geom::Vec, double>> hs;
+    for (int i = 0; i < dim; ++i) {
+      geom::Vec a(dim);
+      for (int j = 0; j < dim; ++j) a[j] = rng.Uniform(-1, 1);
+      hs.emplace_back(std::move(a), 0.0);
+    }
+    cones.push_back(std::move(hs));
+  }
+  for (int dim : {2, 3, 4}) {
+    InnerBallFinder finder(dim, 1.0);
+    for (const auto& cone : cones) {
+      if (static_cast<int>(cone[0].first.size()) != dim) continue;
+      auto one_shot = FindInnerBall(cone, dim, 1.0);
+      auto reused = finder.Find(cone);
+      ASSERT_EQ(one_shot.has_value(), reused.has_value());
+      if (!one_shot) continue;
+      EXPECT_EQ(one_shot->center, reused->center);
+      EXPECT_EQ(one_shot->radius, reused->radius);
+    }
+  }
+}
+
+TEST(BodyTest, SetBallRadiusMatchesFreshlyBuiltBody) {
+  // The annealing estimator mutates one ball's radius in place; the mutated
+  // body must behave bit-identically to a body built with that radius.
+  ConvexBody mutated = OrthantCone(3);
+  mutated.SetBallRadius(0, 0.6);
+  ConvexBody fresh(3);
+  for (int j = 0; j < 3; ++j) {
+    geom::Vec a(3, 0.0);
+    a[j] = -1.0;
+    fresh.AddHalfspace(a, 0.0);
+  }
+  fresh.AddBall(geom::Vec(3, 0.0), 0.6);
+  util::Rng rng(13);
+  for (int rep = 0; rep < 100; ++rep) {
+    geom::Vec x(3), d = geom::SampleUnitSphere(3, rng);
+    for (int j = 0; j < 3; ++j) x[j] = rng.Uniform(0.0, 0.3);
+    EXPECT_EQ(mutated.Contains(x), fresh.Contains(x));
+    auto a = mutated.Chord(x, d);
+    auto b = fresh.Chord(x, d);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a) {
+      EXPECT_EQ(a->first, b->first);
+      EXPECT_EQ(a->second, b->second);
+    }
+  }
+  EXPECT_EQ(mutated.balls()[0].radius, 0.6);
+  EXPECT_EQ(mutated.ball_radius2()[0], 0.36);
+}
+
 TEST(SamplerTest, StaysInsideBody) {
   ConvexBody body = OrthantCone(3);
   util::Rng rng(5);

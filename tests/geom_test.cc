@@ -20,6 +20,29 @@ TEST(VectorTest, NormDotAddScaled) {
   EXPECT_DOUBLE_EQ(c[1], 2.0);
 }
 
+TEST(VectorTest, AddScaledInPlaceMatchesAllocating) {
+  Vec a{3.0, 4.0};
+  Vec b{1.0, -1.0};
+  Vec expected = AddScaled(a, 2.0, b);
+  AddScaledInPlace(a, 2.0, b);
+  EXPECT_EQ(a, expected);
+}
+
+TEST(SamplingTest, InPlaceSphereSamplingMatchesAllocating) {
+  // Same seed ⇒ identical draws: the overloads must consume the rng the
+  // same way and produce the same bits.
+  util::Rng rng_a(11);
+  util::Rng rng_b(11);
+  Vec scratch;
+  for (int n : {1, 3, 7}) {
+    for (int i = 0; i < 50; ++i) {
+      Vec fresh = SampleUnitSphere(n, rng_a);
+      SampleUnitSphere(n, rng_b, scratch);
+      ASSERT_EQ(fresh, scratch) << "n " << n << " draw " << i;
+    }
+  }
+}
+
 TEST(BallVolumeTest, KnownClosedForms) {
   EXPECT_NEAR(BallVolume(0), 1.0, 1e-12);              // Vol(R^0) = 1 (§4)
   EXPECT_NEAR(BallVolume(1), 2.0, 1e-12);              // [-1, 1]

@@ -74,6 +74,36 @@ TEST(SimplexTest, ZeroConstraintsIsFeasibleOrigin) {
   EXPECT_NEAR(r.objective, 0.0, 1e-12);
 }
 
+TEST(SimplexTest, SolverReuseIsPure) {
+  // A reused SimplexSolver must return bit-identical results to one-shot
+  // solves, in any interleaving: buffer reuse cannot leak state between
+  // solves. Mix optimal/infeasible/unbounded problems to cross the phase-1
+  // and phase-2 exits.
+  struct Problem {
+    std::vector<std::vector<double>> a;
+    std::vector<double> b;
+    std::vector<double> c;
+  };
+  std::vector<Problem> problems = {
+      {{{1, 0}, {0, 1}, {1, 1}}, {2, 3, 4}, {1, 1}},
+      {{{1}, {-1}}, {-1, -1}, {0}},            // infeasible
+      {{{-1}}, {0}, {1}},                      // unbounded
+      {{{-1, 0}, {0, -1}}, {-2, -1}, {-1, -1}},
+      {{{1, 1}, {-1, -1}, {1, 0}}, {1, -1, 0.25}, {1, 0}},
+  };
+  SimplexSolver solver;
+  for (int round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < problems.size(); ++i) {
+      LpResult fresh = SolveLp(problems[i].a, problems[i].b, problems[i].c);
+      LpResult reused =
+          solver.Solve(problems[i].a, problems[i].b, problems[i].c);
+      ASSERT_EQ(fresh.status, reused.status) << "problem " << i;
+      EXPECT_EQ(fresh.x, reused.x) << "problem " << i;
+      EXPECT_EQ(fresh.objective, reused.objective) << "problem " << i;
+    }
+  }
+}
+
 // Property: random LPs with a planted feasible point are feasible, the
 // returned optimum satisfies all constraints, and is at least as good as the
 // planted point.

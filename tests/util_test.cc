@@ -1,6 +1,7 @@
 // Unit tests for src/util: Status/StatusOr, Rational, Rng, ThreadPool.
 
 #include <atomic>
+#include <cmath>
 #include <memory>
 #include <numeric>
 #include <set>
@@ -212,6 +213,33 @@ TEST(RngTest, GaussianMomentsApproximatelyStandard) {
   }
   EXPECT_NEAR(sum / n, 0.0, 0.02);
   EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianTailMassesMatchNormal) {
+  // Pins the ziggurat sampler to N(0, 1) beyond the first two moments: an
+  // off-by-one in the layer tables or acceptance bound (the classic
+  // ziggurat failure mode) shifts these masses while barely moving the
+  // variance. 1e6 draws put the binomial sigma of each mass well below the
+  // asserted tolerances.
+  Rng rng(1234);
+  const int n = 1000000;
+  int above_half = 0, above_one = 0, above_two = 0, above_three = 0;
+  int positive = 0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    double a = std::fabs(g);
+    if (g > 0) ++positive;
+    if (a > 0.5) ++above_half;
+    if (a > 1.0) ++above_one;
+    if (a > 2.0) ++above_two;
+    if (a > 3.0) ++above_three;
+  }
+  auto frac = [n](int count) { return static_cast<double>(count) / n; };
+  EXPECT_NEAR(frac(positive), 0.5, 0.002);
+  EXPECT_NEAR(frac(above_half), 0.617075, 0.003);   // 2·(1 − Φ(0.5))
+  EXPECT_NEAR(frac(above_one), 0.317311, 0.003);    // 2·(1 − Φ(1))
+  EXPECT_NEAR(frac(above_two), 0.045500, 0.0015);   // 2·(1 − Φ(2))
+  EXPECT_NEAR(frac(above_three), 0.002700, 0.0004);  // 2·(1 − Φ(3))
 }
 
 TEST(RngTest, BernoulliFrequency) {
