@@ -24,14 +24,27 @@ util::StatusOr<AfprasResult> Afpras(const constraints::RealFormula& formula,
   if (formula.is_constant()) {
     result.estimate =
         formula.kind() == constraints::RealFormula::Kind::kTrue ? 1.0 : 0.0;
+    result.exact = true;
     return result;
   }
 
   constraints::RealFormula working = formula;
   int dim = formula.NumVariables();
+  std::set<int> used = formula.UsedVariables();
+  if (used.empty()) {
+    // Variable-free but not structurally constant (a constant-polynomial
+    // atom the simplifier did not fold, e.g. "1 < 2"): no direction can
+    // change its truth, so ν is decided by one asymptotic evaluation. This
+    // is the input class the kAuto exact engines reject — the dispatch
+    // fallback (measure.cc) lands here and must not trip the non-empty
+    // check below.
+    result.estimate =
+        formula.AsymptoticTruth({}, options.coefficient_tolerance) ? 1.0
+                                                                   : 0.0;
+    result.exact = true;
+    return result;
+  }
   if (options.restrict_to_used_vars) {
-    std::set<int> used = formula.UsedVariables();
-    MUDB_CHECK(!used.empty());  // non-constant formula must use a variable
     std::vector<int> remap(*used.rbegin() + 1, -1);
     int next = 0;
     for (int v : used) remap[v] = next++;

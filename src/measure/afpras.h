@@ -49,6 +49,9 @@ struct AfprasResult {
   int64_t samples = 0;
   /// Dimension actually sampled (after restriction to used variables).
   int sampled_dimension = 0;
+  /// True when the estimate is exactly ν — constant and variable-free
+  /// formulae are decided without sampling.
+  bool exact = false;
 };
 
 /// Number of samples required for additive error ε with confidence 1 − δ.

@@ -59,17 +59,24 @@ bool DisjunctToHalfspaces(const Conjunction& conj, int dim,
   return true;
 }
 
+// The caller's long-lived pool when provided, else a per-call pool parked in
+// `local` (ThreadPool(1) is free, so this is cheap on the default path).
+util::ThreadPool* EnsurePool(const FprasOptions& options,
+                             std::optional<util::ThreadPool>* local) {
+  if (options.pool != nullptr) return options.pool;
+  local->emplace(util::ThreadPool::ResolveThreadCount(options.num_threads));
+  return &**local;
+}
+
 }  // namespace
 
-util::StatusOr<FprasResult> FprasConjunctive(
-    const constraints::RealFormula& formula, const FprasOptions& options,
-    util::Rng& rng) {
-  FprasResult result;
+util::StatusOr<FprasBodySet> BuildFprasBodies(
+    const constraints::RealFormula& formula, const FprasOptions& options) {
+  FprasBodySet set;
   if (formula.is_constant()) {
-    result.trivial = true;
-    result.estimate =
-        formula.kind() == RealFormula::Kind::kTrue ? 1.0 : 0.0;
-    return result;
+    set.trivial = true;
+    set.trivial_value = formula.kind() == RealFormula::Kind::kTrue ? 1.0 : 0.0;
+    return set;
   }
   if (!formula.IsLinear()) {
     return util::Status::InvalidArgument(
@@ -79,16 +86,22 @@ util::StatusOr<FprasResult> FprasConjunctive(
 
   RealFormula working = formula;
   int dim = formula.NumVariables();
+  std::set<int> used = formula.UsedVariables();
+  if (used.empty()) {
+    // Variable-free but not structurally constant (constant-polynomial
+    // atoms): truth is direction-independent, so ν is 0/1 exactly.
+    set.trivial = true;
+    set.trivial_value = formula.AsymptoticTruth({}) ? 1.0 : 0.0;
+    return set;
+  }
   if (options.restrict_to_used_vars) {
-    std::set<int> used = formula.UsedVariables();
-    MUDB_CHECK(!used.empty());
     std::vector<int> remap(*used.rbegin() + 1, -1);
     int next = 0;
     for (int v : used) remap[v] = next++;
     working = formula.RemapVariables(remap);
     dim = next;
   }
-  result.sampled_dimension = dim;
+  set.sampled_dimension = dim;
 
   MUDB_ASSIGN_OR_RETURN(std::vector<Conjunction> dnf,
                         working.ToDnf(options.max_disjuncts));
@@ -101,23 +114,18 @@ util::StatusOr<FprasResult> FprasConjunctive(
     if (!DisjunctToHalfspaces(hom, dim, &halfspaces)) continue;
     if (halfspaces.empty()) {
       // The disjunct covers the whole space: ν = 1 exactly.
-      result.trivial = true;
-      result.estimate = 1.0;
-      return result;
+      set.trivial = true;
+      set.trivial_value = 1.0;
+      set.bodies.clear();
+      return set;
     }
     cones.push_back(std::move(halfspaces));
   }
 
   // ... then dispatch the inner-ball LPs as independent tasks and assemble
-  // the surviving bodies in cone order. One pool — the caller's long-lived
-  // one when provided — serves the whole pipeline.
+  // the surviving bodies in cone order.
   std::optional<util::ThreadPool> local_pool;
-  util::ThreadPool* pool = options.pool;
-  if (pool == nullptr) {
-    local_pool.emplace(
-        util::ThreadPool::ResolveThreadCount(options.num_threads));
-    pool = &*local_pool;
-  }
+  util::ThreadPool* pool = EnsurePool(options, &local_pool);
   // Chunked so each task reuses one InnerBallFinder (LP tableau scratch and
   // the shared box/margin rows) across its cones. The grid is a function of
   // the cone count alone and each cone's result depends only on that cone,
@@ -125,38 +133,71 @@ util::StatusOr<FprasResult> FprasConjunctive(
   std::vector<std::optional<convex::InnerBall>> inners(cones.size());
   const int num_cones = static_cast<int>(cones.size());
   const int lp_chunks = std::min(num_cones, 64);
-  pool->ParallelFor(lp_chunks, [&](int64_t c) {
-    convex::InnerBallFinder finder(dim, 1.0);
-    for (int i = static_cast<int>(c); i < num_cones; i += lp_chunks) {
-      inners[i] = finder.Find(cones[i]);
-    }
-  });
-  std::vector<volume::SeededBody> bodies;
+  if (lp_chunks > 0) {
+    pool->ParallelFor(lp_chunks, [&](int64_t c) {
+      convex::InnerBallFinder finder(dim, 1.0);
+      for (int i = static_cast<int>(c); i < num_cones; i += lp_chunks) {
+        inners[i] = finder.Find(cones[i]);
+      }
+    });
+  }
   for (size_t i = 0; i < cones.size(); ++i) {
     if (!inners[i]) continue;  // empty interior: volume 0
     convex::ConvexBody body(dim);
     for (auto& [a, b] : cones[i]) body.AddHalfspace(std::move(a), b);
     body.AddBall(geom::Vec(dim, 0.0), 1.0);
     double outer_bound = 1.0 + geom::Norm(inners[i]->center) + 1e-9;
-    bodies.push_back(
+    set.bodies.push_back(
         volume::SeededBody{std::move(body), *inners[i], outer_bound});
   }
-  result.active_disjuncts = static_cast<int>(bodies.size());
-  if (bodies.empty()) {
+  return set;
+}
+
+util::StatusOr<FprasResult> FprasFromBodies(const FprasBodySet& body_set,
+                                            const FprasOptions& options,
+                                            util::Rng& rng) {
+  FprasResult result;
+  result.sampled_dimension = body_set.sampled_dimension;
+  if (body_set.trivial) {
+    result.trivial = true;
+    result.estimate = body_set.trivial_value;
+    return result;
+  }
+  result.active_disjuncts = static_cast<int>(body_set.bodies.size());
+  if (body_set.bodies.empty()) {
     result.estimate = 0.0;
     return result;
   }
 
+  std::optional<util::ThreadPool> local_pool;
+  util::ThreadPool* pool = EnsurePool(options, &local_pool);
   volume::UnionVolumeOptions uopts;
   uopts.epsilon = options.epsilon;
   uopts.body_volume.epsilon = options.epsilon;
   uopts.pool = pool;
   uopts.body_volume.pool = pool;
-  MUDB_ASSIGN_OR_RETURN(volume::UnionVolumeResult uv,
-                        volume::EstimateUnionVolume(bodies, uopts, rng));
-  result.estimate = uv.volume / geom::BallVolume(dim, 1.0);
+  uopts.body_cache = options.body_cache;
+  MUDB_ASSIGN_OR_RETURN(
+      volume::UnionVolumeResult uv,
+      volume::EstimateUnionVolume(body_set.bodies, uopts, rng));
+  result.estimate =
+      uv.volume / geom::BallVolume(body_set.sampled_dimension, 1.0);
   result.sampling_steps = uv.steps;
+  result.unique_bodies = uv.unique_bodies;
+  result.body_cache_hits = uv.body_cache_hits;
   return result;
+}
+
+util::StatusOr<FprasResult> FprasConjunctive(
+    const constraints::RealFormula& formula, const FprasOptions& options,
+    util::Rng& rng) {
+  // One pool serves both halves (the halves each spawn their own only when
+  // called standalone without one).
+  std::optional<util::ThreadPool> local_pool;
+  FprasOptions opts = options;
+  opts.pool = EnsurePool(options, &local_pool);
+  MUDB_ASSIGN_OR_RETURN(FprasBodySet set, BuildFprasBodies(formula, opts));
+  return FprasFromBodies(set, opts, rng);
 }
 
 }  // namespace mudb::measure

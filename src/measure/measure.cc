@@ -47,7 +47,7 @@ util::StatusOr<MeasureResult> RunAfpras(const RealFormula& formula,
   MUDB_ASSIGN_OR_RETURN(AfprasResult ar, Afpras(formula, aopts, rng));
   MeasureResult r;
   r.value = ar.estimate;
-  r.is_exact = formula.is_constant();
+  r.is_exact = ar.exact;
   r.method_used = Method::kAfpras;
   r.samples = ar.samples;
   r.sampled_dimension = ar.sampled_dimension;
@@ -62,6 +62,7 @@ util::StatusOr<MeasureResult> RunFpras(const RealFormula& formula,
   fopts.restrict_to_used_vars = options.restrict_to_used_vars;
   fopts.num_threads = options.num_threads;
   fopts.pool = options.pool;
+  fopts.body_cache = options.body_cache;
   util::Rng rng(options.seed);
   MUDB_ASSIGN_OR_RETURN(FprasResult fr, FprasConjunctive(formula, fopts, rng));
   MeasureResult r;
@@ -69,6 +70,10 @@ util::StatusOr<MeasureResult> RunFpras(const RealFormula& formula,
   r.is_exact = fr.trivial;
   r.method_used = Method::kFpras;
   r.sampled_dimension = fr.sampled_dimension;
+  r.sampling_steps = fr.sampling_steps;
+  r.bodies = fr.active_disjuncts;
+  r.unique_bodies = fr.unique_bodies;
+  r.body_cache_hits = fr.body_cache_hits;
   return r;
 }
 
@@ -127,12 +132,24 @@ util::StatusOr<MeasureResult> ComputeNu(const RealFormula& formula,
       break;
   }
 
-  // kAuto: prefer exact engines when they are cheap and applicable.
+  // kAuto: prefer exact engines when they are cheap and applicable, but an
+  // exact-engine failure (degenerate inputs the enumeration rejects, e.g. a
+  // constant-polynomial atom the simplifier did not fold) degrades to the
+  // AFPRAS rather than surfacing an error. The fallback passes the caller's
+  // options through whole, so a supplied `pool` (and `body_cache`,
+  // `num_threads`, ...) is honored exactly as on the direct kAfpras path —
+  // the serving layer relies on this when it routes kAuto requests.
   size_t used_vars = formula.UsedVariables().size();
-  if (used_vars <= 2) return RunExact2D(formula);
+  if (used_vars <= 2) {
+    util::StatusOr<MeasureResult> exact = RunExact2D(formula);
+    if (exact.ok()) return exact;
+    return RunAfpras(formula, options);
+  }
   if (IsOrderFormula(formula) &&
       used_vars <= static_cast<size_t>(options.exact_order_max_vars)) {
-    return RunExactOrder(formula, options);
+    util::StatusOr<MeasureResult> exact = RunExactOrder(formula, options);
+    if (exact.ok()) return exact;
+    return RunAfpras(formula, options);
   }
   return RunAfpras(formula, options);
 }
@@ -141,8 +158,10 @@ util::StatusOr<MeasureResult> ComputeMeasure(const logic::Query& q,
                                              const model::Database& db,
                                              const model::Tuple& candidate,
                                              const MeasureOptions& options) {
+  translate::GroundOptions gopts;
+  gopts.max_atoms = options.max_ground_atoms;
   MUDB_ASSIGN_OR_RETURN(translate::GroundResult ground,
-                        translate::GroundQuery(q, db, candidate));
+                        translate::GroundQuery(q, db, candidate, gopts));
   return ComputeNu(ground.formula, options);
 }
 
@@ -150,8 +169,10 @@ util::StatusOr<MeasureResult> ComputeConditionalMeasure(
     const logic::Query& q, const model::Database& db,
     const model::Tuple& candidate, const NullRanges& ranges,
     const MeasureOptions& options) {
+  translate::GroundOptions gopts;
+  gopts.max_atoms = options.max_ground_atoms;
   MUDB_ASSIGN_OR_RETURN(translate::GroundResult ground,
-                        translate::GroundQuery(q, db, candidate));
+                        translate::GroundQuery(q, db, candidate, gopts));
   // Variable z_i denotes null null_order[i]; align the ranges accordingly.
   VarRanges var_ranges(ground.null_order.size());
   for (size_t i = 0; i < ground.null_order.size(); ++i) {

@@ -20,6 +20,13 @@
 // (util/thread_pool.h): given the same seed, any num_threads value returns
 // bit-identical results, because sampling work is carved into RNG substreams
 // by the workload, never by the thread count.
+//
+// Evaluating many candidates over one database? Use the serving layer
+// (src/service/measure_service.h): it batches ComputeMeasure-equivalent
+// requests, deduplicates identical convex bodies within and across requests
+// via canonical content keys, and caches estimates — bit-identical to the
+// sequential calls, at a fraction of the sampling cost. Per-call reuse knobs
+// (`pool`, `body_cache` below) are what the service plugs into.
 
 #ifndef MUDB_SRC_MEASURE_MEASURE_H_
 #define MUDB_SRC_MEASURE_MEASURE_H_
@@ -40,6 +47,7 @@
 #include "src/util/rng.h"
 #include "src/util/status.h"
 #include "src/util/thread_pool.h"
+#include "src/volume/union_volume.h"
 
 namespace mudb::measure {
 
@@ -69,6 +77,10 @@ struct MeasureOptions {
   int exact_order_max_vars = 8;
   /// Passed to the FPRAS DNF conversion.
   size_t max_dnf_disjuncts = 4096;
+  /// Cap on grounding (translate::GroundOptions::max_atoms) for the
+  /// query-level entry points: bounds the work a single request can cost
+  /// before sampling starts. Exceeding it fails with ResourceExhausted.
+  size_t max_ground_atoms = 2'000'000;
   /// Worker threads for the randomized engines (AFPRAS, conditional AFPRAS,
   /// FPRAS); 0 or negative = all hardware threads. Estimates are
   /// bit-identical for any value given the same seed.
@@ -77,6 +89,12 @@ struct MeasureOptions {
   /// engines use it as-is instead of spawning workers per call. Not owned;
   /// one submitter at a time (share across sequential calls only).
   util::ThreadPool* pool = nullptr;
+  /// Optional cross-call cache of per-body volume estimates for the FPRAS
+  /// path (not owned, must be thread-safe; see volume/union_volume.h and
+  /// service/estimate_cache.h). Hits skip a body's sampling entirely and
+  /// are bit-identical to recomputation, so sharing one cache across calls
+  /// never changes any result.
+  volume::BodyEstimateCache* body_cache = nullptr;
 };
 
 struct MeasureResult {
@@ -90,6 +108,16 @@ struct MeasureResult {
   Method method_used = Method::kAuto;
   /// Samples drawn by randomized engines (0 for exact paths).
   int64_t samples = 0;
+  /// Hit-and-run steps taken by the FPRAS sampling pipeline (0 for the
+  /// other engines; cache hits contribute nothing). Feeds the serving
+  /// layer's per-batch accounting.
+  int64_t sampling_steps = 0;
+  /// Convex bodies that entered the FPRAS union estimate, before and after
+  /// canonical dedup (0 for the other engines).
+  int bodies = 0;
+  int unique_bodies = 0;
+  /// Unique-body volume estimates served by MeasureOptions::body_cache.
+  int64_t body_cache_hits = 0;
   /// Dimension sampled after variable restriction.
   int sampled_dimension = 0;
 };

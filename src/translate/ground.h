@@ -41,6 +41,9 @@ struct GroundOptions {
   /// Hard cap on the number of atoms produced, guarding against blow-up of
   /// quantifier expansion on large databases. Exceeding it fails with
   /// ResourceExhausted (use the CQ pipeline in src/engine for large inputs).
+  /// Per-call dispatch plumbs MeasureOptions::max_ground_atoms here, so a
+  /// serving layer (src/service/) can bound the grounding work any single
+  /// request may cost before its sampling even starts.
   size_t max_atoms = 2'000'000;
 };
 

@@ -1,0 +1,93 @@
+// Stable 128-bit content fingerprints for the dedup/caching layers.
+//
+// The serving layer addresses grounded constraint systems, convex bodies, and
+// whole measurement requests by content: two inputs with the same canonical
+// byte stream must map to the same key on every platform and in every run, so
+// the hash is a fixed function with no per-process seed. Two independent
+// SplitMix64-mixed lanes give 128 bits of state; this is a content-address,
+// not a cryptographic hash — collisions are a ~2^-64 birthday event for
+// realistic corpus sizes, and key equality is treated as object equality by
+// the caches built on top (see convex/canonical.h, service/estimate_cache.h).
+
+#ifndef MUDB_SRC_UTIL_FINGERPRINT_H_
+#define MUDB_SRC_UTIL_FINGERPRINT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+
+namespace mudb::util {
+
+struct Fingerprint128 {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend bool operator==(const Fingerprint128& a, const Fingerprint128& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const Fingerprint128& a, const Fingerprint128& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Fingerprint128& a, const Fingerprint128& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+
+  /// For unordered containers. The lanes are already avalanche-mixed, so
+  /// folding them is enough.
+  struct Hash {
+    size_t operator()(const Fingerprint128& f) const {
+      return static_cast<size_t>(f.hi ^ (f.lo * 0x9E3779B97F4A7C15ull));
+    }
+  };
+};
+
+/// Order-sensitive streaming hasher. Absorb the canonical representation one
+/// 64-bit word at a time; Digest() folds in the word count so streams that
+/// are prefixes of each other cannot collide trivially.
+class FingerprintHasher {
+ public:
+  FingerprintHasher() = default;
+  /// Domain-separated hasher: streams absorbed under distinct tags live in
+  /// disjoint codomains (e.g. body keys vs. request keys).
+  explicit FingerprintHasher(uint64_t domain_tag) { Absorb(domain_tag); }
+
+  void Absorb(uint64_t v) {
+    h1_ = Mix(h1_ ^ (v * 0x9E3779B97F4A7C15ull));
+    h2_ = Mix(h2_ + (v ^ 0xC2B2AE3D27D4EB4Full));
+    ++len_;
+  }
+
+  /// Canonicalizes -0.0 to +0.0 so numerically equal coefficients absorb
+  /// identically. NaNs are not expected in canonical streams.
+  void AbsorbDouble(double v) {
+    if (v == 0.0) v = 0.0;  // drop the sign of zero
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    Absorb(bits);
+  }
+
+  Fingerprint128 Digest() const {
+    Fingerprint128 fp;
+    fp.hi = Mix(h1_ ^ Mix(len_));
+    fp.lo = Mix(h2_ + Mix(len_ ^ 0xD6E8FEB86659FD93ull));
+    return fp;
+  }
+
+ private:
+  /// The SplitMix64 finalizer (also used by Rng::SplitMix64; duplicated here
+  /// so the header stays dependency-free).
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  uint64_t h1_ = 0x243F6A8885A308D3ull;  // pi digits: arbitrary fixed IVs
+  uint64_t h2_ = 0x13198A2E03707344ull;
+  uint64_t len_ = 0;
+};
+
+}  // namespace mudb::util
+
+#endif  // MUDB_SRC_UTIL_FINGERPRINT_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <unordered_map>
 
 #include "src/convex/sampler.h"
 
@@ -27,70 +28,142 @@ util::StatusOr<UnionVolumeResult> EstimateUnionVolume(
   UnionVolumeResult result;
   if (bodies.empty()) return result;
   const int m = static_cast<int>(bodies.size());
-
-  // Per-body volume estimates; body i draws from substream i. The bodies run
-  // sequentially — EstimateVolume itself fans each annealing phase out on
-  // body_volume.pool, which keeps the parallelism flat (no nested
-  // ParallelFor) while saturating the workers even for a single body.
-  result.body_volumes.resize(m);
-  double total = 0.0;
+  // Forked exactly once, up front, whatever the dedup/cache outcome: the
+  // caller-visible rng consumption must not depend on batch composition.
   util::Rng base = rng.Fork();
+
+  // Canonical dedup: identical bodies collapse onto their first occurrence.
+  // `uniq` holds first-occurrence input indices in input order, so the
+  // deduped body list — and everything derived from it — is independent of
+  // how many duplicates follow.
+  std::vector<int> uniq;
+  std::vector<int> uniq_of(m, -1);  // input index -> index into `uniq`
+  std::vector<convex::CanonicalBodyKey> uniq_key;
+  {
+    std::unordered_map<convex::CanonicalBodyKey, int,
+                       convex::CanonicalBodyKey::Hash>
+        seen;
+    seen.reserve(m);
+    for (int i = 0; i < m; ++i) {
+      convex::CanonicalBodyKey key = CanonicalizeBody(bodies[i].body);
+      auto [it, inserted] =
+          seen.emplace(key, static_cast<int>(uniq.size()));
+      if (inserted) {
+        uniq.push_back(i);
+        uniq_key.push_back(key);
+      }
+      uniq_of[i] = it->second;
+    }
+  }
+  const int u = static_cast<int>(uniq.size());
+  result.unique_bodies = u;
+
+  // Per-unique-body volume estimates. Each estimate draws from the RNG
+  // stream owned by its (body × tier) key — a pure function of content, so
+  // an external cache hit replays exactly what recomputation would produce.
+  // The bodies run sequentially — EstimateVolume itself fans each annealing
+  // phase out on body_volume.pool, which keeps the parallelism flat (no
+  // nested ParallelFor) while saturating the workers even for a single body.
+  std::vector<double> uniq_volume(u);
+  double total = 0.0;
+  for (int s = 0; s < u; ++s) {
+    // The cache key pins everything the estimate is bitwise a function of:
+    // the canonical content, the raw representation of the body actually
+    // walked (row order perturbs LP-seeded inner balls; rescaling perturbs
+    // chord arithmetic), the ε tier, and the caller's seed path (base is a
+    // pure function of the caller rng — so distinct seeds keep distinct
+    // sample paths while same-seed calls, the serving layer's batches,
+    // share).
+    const SeededBody& rep = bodies[uniq[s]];
+    convex::CanonicalBodyKey tier_key = convex::CombineKeyWithParams(
+        uniq_key[s],
+        convex::RawBodyFingerprint(rep.body, rep.inner.center,
+                                   rep.inner.radius, rep.outer_radius_bound),
+        options.body_volume.epsilon, options.body_volume.walk_steps,
+        options.body_volume.samples_per_phase, base.seed());
+    std::optional<CachedBodyEstimate> cached;
+    if (options.body_cache != nullptr) {
+      cached = options.body_cache->Lookup(tier_key);
+    }
+    if (cached.has_value()) {
+      uniq_volume[s] = cached->volume;
+      ++result.body_cache_hits;
+    } else {
+      util::Rng body_rng = convex::RngForKey(tier_key);
+      convex::VolumeEstimate est = convex::EstimateVolume(
+          rep.body, rep.inner, rep.outer_radius_bound, options.body_volume,
+          body_rng);
+      uniq_volume[s] = est.volume;
+      result.steps += est.steps;
+      if (options.body_cache != nullptr) {
+        options.body_cache->Insert(
+            tier_key, CachedBodyEstimate{est.volume, est.steps, est.phases});
+      }
+    }
+    total += uniq_volume[s];
+  }
+  result.body_volumes.resize(m);
   for (int i = 0; i < m; ++i) {
-    util::Rng body_rng = base.Split(i);
-    convex::VolumeEstimate est = convex::EstimateVolume(
-        bodies[i].body, bodies[i].inner, bodies[i].outer_radius_bound,
-        options.body_volume, body_rng);
-    result.body_volumes[i] = est.volume;
-    result.steps += est.steps;
-    total += est.volume;
+    result.body_volumes[i] = uniq_volume[uniq_of[i]];
   }
   if (total <= 0.0) return result;
 
-  // Cumulative distribution for body selection proportional to volume.
-  std::vector<double> cdf(m);
+  // A one-body union needs no Karp–Luby correction: m(x) = 1 for every
+  // sample, so the loop would estimate exactly 1 at full sampling cost.
+  if (u == 1) {
+    result.volume = uniq_volume[0];
+    return result;
+  }
+
+  // Cumulative distribution for unique-body selection proportional to
+  // volume.
+  std::vector<double> cdf(u);
   double acc = 0.0;
-  for (int i = 0; i < m; ++i) {
-    acc += result.body_volumes[i];
-    cdf[i] = acc / total;
+  for (int s = 0; s < u; ++s) {
+    acc += uniq_volume[s];
+    cdf[s] = acc / total;
   }
 
   int dim = bodies[0].body.dim();
   int walk = options.walk_steps > 0 ? options.walk_steps : 4 * dim;
   int num_samples = options.num_samples;
   if (num_samples <= 0) {
-    double s = 12.0 * m / (options.epsilon * options.epsilon);
+    double s = 12.0 * u / (options.epsilon * options.epsilon);
     num_samples = static_cast<int>(std::clamp(s, 1000.0, 2000000.0));
   }
 
-  const int chunks = NumChunks(num_samples, m);
+  const int chunks = NumChunks(num_samples, u);
   std::vector<double> partial(chunks);
   std::vector<int64_t> chunk_steps(chunks);
   auto run_chunk = [&](int64_t c) {
     int samples = num_samples / chunks + (c < num_samples % chunks ? 1 : 0);
-    util::Rng chunk_rng = base.Split(m + c);
+    util::Rng chunk_rng = base.Split(c);
     // Chains are created on first pick and persist (warm) across this
     // chunk's samples; every draw comes from chunk_rng, so the chunk's
     // sample path is a function of its substream alone.
-    std::vector<std::unique_ptr<convex::HitAndRunSampler>> samplers(m);
+    std::vector<std::unique_ptr<convex::HitAndRunSampler>> samplers(u);
     double sum_inv = 0.0;
     int64_t steps = 0;
     for (int s = 0; s < samples; ++s) {
-      double u = chunk_rng.Uniform01();
+      double pick_u = chunk_rng.Uniform01();
       int pick = static_cast<int>(
-          std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
-      pick = std::min(pick, m - 1);
+          std::lower_bound(cdf.begin(), cdf.end(), pick_u) - cdf.begin());
+      pick = std::min(pick, u - 1);
+      const SeededBody& picked = bodies[uniq[pick]];
       if (samplers[pick] == nullptr) {
         samplers[pick] = std::make_unique<convex::HitAndRunSampler>(
-            &bodies[pick].body, bodies[pick].inner.center);
+            &picked.body, picked.inner.center);
         samplers[pick]->Walk(10 * walk, chunk_rng);  // burn-in
         steps += 10 * walk;
       }
       samplers[pick]->Walk(walk, chunk_rng);
       steps += walk;
       const geom::Vec& x = samplers[pick]->current();
+      // m(x) over *unique* members: the union is a set, so duplicates must
+      // not inflate the ownership count (nor cost Contains scans).
       int owners = 0;
-      for (int j = 0; j < m; ++j) {
-        if (result.body_volumes[j] > 0 && bodies[j].body.Contains(x)) ++owners;
+      for (int j = 0; j < u; ++j) {
+        if (uniq_volume[j] > 0 && bodies[uniq[j]].body.Contains(x)) ++owners;
       }
       // x came from body `pick`, so owners >= 1 (up to numerical tolerance).
       owners = std::max(owners, 1);

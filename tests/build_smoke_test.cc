@@ -19,6 +19,7 @@
 #include "src/measure/measure.h"
 #include "src/model/database.h"
 #include "src/poly/polynomial.h"
+#include "src/service/measure_service.h"
 #include "src/sql/parser.h"
 #include "src/translate/ground.h"
 #include "src/util/rational.h"
@@ -65,6 +66,14 @@ TEST(BuildSmokeTest, EverySubsystemLinks) {
                                measure::MeasureOptions{});
   ASSERT_TRUE(nu.ok());
   EXPECT_DOUBLE_EQ(nu->value, 1.0);
+
+  // service: a one-request batch answers like ComputeNu.
+  service::MeasureService svc;
+  auto batch = svc.RunBatch({service::MeasureRequest::Nu(
+      constraints::RealFormula::True(), measure::MeasureOptions{})});
+  ASSERT_EQ(batch.results.size(), 1u);
+  ASSERT_TRUE(batch.results[0].ok());
+  EXPECT_DOUBLE_EQ(batch.results[0]->value, 1.0);
 
   // model
   model::Database db;

@@ -105,6 +105,55 @@ TEST(DispatchTest, NumThreadsPlumbedThrough) {
   EXPECT_NEAR(r->value, 0.5, 0.02);
 }
 
+TEST(DispatchTest, AutoFallsBackToAfprasBeyondExactOrderBudget) {
+  // A 4-variable order chain with the order engine budget pulled below it:
+  // kAuto must degrade to the AFPRAS instead of erroring, and the estimate
+  // must agree with the exact rational value the order engine would give.
+  std::vector<RealFormula> parts;
+  for (int i = 0; i < 3; ++i) {
+    parts.push_back(RealFormula::Cmp(Z(i) - Z(i + 1), CmpOp::kLt));
+  }
+  RealFormula chain = RealFormula::And(std::move(parts));
+  auto exact = NuExactOrder(chain, 8);
+  ASSERT_TRUE(exact.ok());
+
+  MeasureOptions opts;  // kAuto
+  opts.exact_order_max_vars = 3;  // below the 4 variables used
+  opts.epsilon = 0.02;
+  auto r = ComputeNu(chain, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->method_used, Method::kAfpras);
+  EXPECT_FALSE(r->is_exact);
+  EXPECT_NEAR(r->value, exact->ToDouble(), 0.05);
+}
+
+TEST(DispatchTest, AutoFallbackHonorsCallerPool) {
+  // The kAuto exact→AFPRAS fallback passes the caller's options through
+  // whole — in particular a supplied long-lived pool and thread count. The
+  // determinism contract then demands a bit-identical estimate with and
+  // without the pool.
+  std::vector<RealFormula> parts;
+  for (int i = 0; i < 3; ++i) {
+    parts.push_back(RealFormula::Cmp(Z(i) - Z(i + 1), CmpOp::kLt));
+  }
+  RealFormula chain = RealFormula::And(std::move(parts));
+  MeasureOptions plain;
+  plain.exact_order_max_vars = 3;
+  plain.epsilon = 0.02;
+  auto without = ComputeNu(chain, plain);
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(without->method_used, Method::kAfpras);
+
+  util::ThreadPool pool(3);
+  MeasureOptions opts = plain;
+  opts.pool = &pool;
+  opts.num_threads = 3;
+  auto with_pool = ComputeNu(chain, opts);
+  ASSERT_TRUE(with_pool.ok());
+  EXPECT_EQ(with_pool->method_used, Method::kAfpras);
+  EXPECT_EQ(with_pool->value, without->value);
+}
+
 // ---- The zero-one law of [27], recovered ------------------------------------
 //
 // For queries whose arithmetic never touches a null (in particular queries

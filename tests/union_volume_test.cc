@@ -1,6 +1,8 @@
 // Tests for the Karp–Luby union-volume estimator.
 
 #include <cmath>
+#include <map>
+#include <optional>
 
 #include <gtest/gtest.h>
 
@@ -114,6 +116,97 @@ TEST(UnionVolumeTest, OverlappingHalfBalls) {
   ASSERT_TRUE(r.ok());
   double expected = (M_PI + M_PI / 4) / (2 * M_PI) * M_PI;
   EXPECT_NEAR(r->volume, expected, 0.12 * expected);
+}
+
+TEST(UnionVolumeTest, DuplicatesAreSampledOnce) {
+  // {X, X, X} must collapse to {X}: same steps as the singleton call, the
+  // singleton's exact estimate, and per-input volumes that share the unique
+  // body's estimate.
+  UnionVolumeOptions opts;
+  opts.epsilon = 0.05;
+  util::Rng rng_single(11), rng_dup(11);
+  std::vector<SeededBody> single;
+  single.push_back(Quadrant(1, 1));
+  auto alone = EstimateUnionVolume(single, opts, rng_single);
+  ASSERT_TRUE(alone.ok());
+
+  std::vector<SeededBody> tripled;
+  for (int i = 0; i < 3; ++i) tripled.push_back(Quadrant(1, 1));
+  auto together = EstimateUnionVolume(tripled, opts, rng_dup);
+  ASSERT_TRUE(together.ok());
+
+  EXPECT_EQ(together->unique_bodies, 1);
+  EXPECT_EQ(together->volume, alone->volume);  // bitwise: same sample path
+  EXPECT_EQ(together->steps, alone->steps);
+  ASSERT_EQ(together->body_volumes.size(), 3u);
+  for (double v : together->body_volumes) {
+    EXPECT_EQ(v, alone->body_volumes[0]);
+  }
+}
+
+TEST(UnionVolumeTest, UniqueBodiesCountsDistinctGeometry) {
+  std::vector<SeededBody> bodies;
+  bodies.push_back(Quadrant(1, 1));
+  bodies.push_back(Quadrant(-1, -1));
+  bodies.push_back(Quadrant(1, 1));  // duplicate of the first
+  UnionVolumeOptions opts;
+  opts.epsilon = 0.05;
+  util::Rng rng(12);
+  auto r = EstimateUnionVolume(bodies, opts, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->unique_bodies, 2);
+  EXPECT_NEAR(r->volume, M_PI / 2, 0.15 * M_PI / 2);
+  EXPECT_EQ(r->body_volumes[0], r->body_volumes[2]);
+}
+
+// A tiny in-test cache: the volume layer only sees the interface.
+class MapCache : public BodyEstimateCache {
+ public:
+  std::optional<CachedBodyEstimate> Lookup(
+      const convex::CanonicalBodyKey& key) override {
+    auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+  void Insert(const convex::CanonicalBodyKey& key,
+              const CachedBodyEstimate& estimate) override {
+    map_[key] = estimate;
+  }
+
+ private:
+  std::map<convex::CanonicalBodyKey, CachedBodyEstimate> map_;
+};
+
+TEST(UnionVolumeTest, CacheHitsAreBitIdenticalAndSkipSampling) {
+  MapCache cache;
+  UnionVolumeOptions opts;
+  opts.epsilon = 0.05;
+  opts.body_cache = &cache;
+  std::vector<SeededBody> bodies;
+  bodies.push_back(Quadrant(1, 1));
+  bodies.push_back(Quadrant(-1, -1));
+
+  util::Rng rng1(13), rng2(13), rng3(13);
+  auto cold = EstimateUnionVolume(bodies, opts, rng1);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->body_cache_hits, 0);
+  EXPECT_GT(cold->steps, 0);
+
+  // Same seed, warm cache: both body estimates replay from the cache; the
+  // only sampling left is the Karp–Luby stage, and the result is identical.
+  auto warm = EstimateUnionVolume(bodies, opts, rng2);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->body_cache_hits, 2);
+  EXPECT_EQ(warm->volume, cold->volume);
+  EXPECT_LT(warm->steps, cold->steps);
+
+  // No cache at all: still the identical estimate — the cache cannot
+  // change results, only skip work.
+  UnionVolumeOptions no_cache = opts;
+  no_cache.body_cache = nullptr;
+  auto plain = EstimateUnionVolume(bodies, no_cache, rng3);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->volume, cold->volume);
 }
 
 }  // namespace
