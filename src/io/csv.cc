@@ -51,6 +51,42 @@ util::StatusOr<std::vector<std::string>> SplitRecord(const std::string& line,
   return fields;
 }
 
+// One physical CSV record (possibly spanning several input lines) and the
+// input line it starts on, for error messages.
+struct RawRecord {
+  std::string text;
+  size_t line_no = 0;
+};
+
+// Splits the buffer into records at newlines *outside* quoted fields — a
+// quoted field may contain embedded newlines (RFC 4180), so splitting with
+// getline would tear such a record apart. Doubled quotes toggle the state
+// twice, so a plain toggle tracks quotedness correctly at every newline.
+std::vector<RawRecord> SplitIntoRecords(const std::string& csv) {
+  std::vector<RawRecord> records;
+  std::string current;
+  size_t line = 1;
+  size_t start_line = 1;
+  bool in_quotes = false;
+  for (char c : csv) {
+    if (c == '"') in_quotes = !in_quotes;
+    if (c == '\n') {
+      ++line;
+      if (!in_quotes) {
+        records.push_back({std::move(current), start_line});
+        current.clear();
+        start_line = line;
+        continue;
+      }
+    }
+    current += c;
+  }
+  // A final record without a trailing newline (an unterminated quote also
+  // lands here; SplitRecord reports it).
+  if (!current.empty()) records.push_back({std::move(current), start_line});
+  return records;
+}
+
 // Shared-null bookkeeping for tagged null tokens ("NULL:7") so identical
 // marks in one load become the same marked null.
 class NullRegistry {
@@ -91,17 +127,14 @@ util::StatusOr<size_t> LoadCsvRelation(Database* db,
                         db->GetMutableRelation(schema.name()));
   NullRegistry nulls(db);
 
-  std::istringstream lines(csv);
-  std::string line;
   size_t rows = 0;
   bool header_pending = options.has_header;
-  size_t line_no = 0;
   const std::string tagged_prefix = options.null_token + ":";
-  while (std::getline(lines, line)) {
-    ++line_no;
-    if (line.empty() || line == "\r") continue;
+  for (RawRecord& record : SplitIntoRecords(csv)) {
+    const size_t line_no = record.line_no;
+    if (record.text.empty() || record.text == "\r") continue;
     MUDB_ASSIGN_OR_RETURN(std::vector<std::string> fields,
-                          SplitRecord(line, options.delimiter));
+                          SplitRecord(record.text, options.delimiter));
     if (header_pending) {
       header_pending = false;
       if (fields.size() != schema.arity()) {
@@ -174,9 +207,11 @@ util::Status WriteCsvRelation(const model::Relation& relation,
                               std::ostream& out, const CsvOptions& options) {
   const RelationSchema& schema = relation.schema();
   auto write_cell = [&](const std::string& text) {
+    // '\r' is quoted too: the reader strips unquoted carriage returns.
     bool needs_quotes = text.find(options.delimiter) != std::string::npos ||
                         text.find('"') != std::string::npos ||
-                        text.find('\n') != std::string::npos;
+                        text.find('\n') != std::string::npos ||
+                        text.find('\r') != std::string::npos;
     if (!needs_quotes) {
       out << text;
       return;

@@ -3,7 +3,10 @@
 // Loading follows the paper's experimental setup (§9): SQL NULLs in the
 // source data become fresh *marked* nulls (⊥_i for base columns, ⊤_i for
 // numeric ones), so a CSV with the token "NULL" round-trips into the marked
-// null model. Supports quoted fields ("a,b" and doubled quotes "").
+// null model. Supports quoted fields — embedded delimiters, doubled-quote
+// escapes, and embedded newlines (a quoted field may span input lines) —
+// and WriteCsvRelation emits exactly that dialect, so write → load is an
+// identity on relations (io_test.cc round-trip battery).
 
 #ifndef MUDB_SRC_IO_CSV_H_
 #define MUDB_SRC_IO_CSV_H_

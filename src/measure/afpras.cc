@@ -1,11 +1,22 @@
 #include "src/measure/afpras.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/geom/geometry.h"
 #include "src/util/parallel.h"
 
 namespace mudb::measure {
+
+void FillAdditiveInterval(AfprasResult* result, double epsilon) {
+  if (result->exact) {
+    result->ci_lo = result->estimate;
+    result->ci_hi = result->estimate;
+    return;
+  }
+  result->ci_lo = std::max(0.0, result->estimate - epsilon);
+  result->ci_hi = std::min(1.0, result->estimate + epsilon);
+}
 
 int64_t AfprasSampleCount(double epsilon, double delta) {
   MUDB_CHECK(epsilon > 0 && epsilon <= 1);
@@ -20,11 +31,15 @@ util::StatusOr<AfprasResult> Afpras(const constraints::RealFormula& formula,
   if (options.epsilon <= 0 || options.epsilon > 1) {
     return util::Status::InvalidArgument("epsilon must be in (0, 1]");
   }
+  if (!(options.delta > 0) || !(options.delta < 1)) {
+    return util::Status::InvalidArgument("delta must be in (0, 1)");
+  }
   AfprasResult result;
   if (formula.is_constant()) {
     result.estimate =
         formula.kind() == constraints::RealFormula::Kind::kTrue ? 1.0 : 0.0;
     result.exact = true;
+    FillAdditiveInterval(&result, options.epsilon);
     return result;
   }
 
@@ -42,6 +57,7 @@ util::StatusOr<AfprasResult> Afpras(const constraints::RealFormula& formula,
         formula.AsymptoticTruth({}, options.coefficient_tolerance) ? 1.0
                                                                    : 0.0;
     result.exact = true;
+    FillAdditiveInterval(&result, options.epsilon);
     return result;
   }
   if (options.restrict_to_used_vars) {
@@ -80,6 +96,7 @@ util::StatusOr<AfprasResult> Afpras(const constraints::RealFormula& formula,
       /*init=*/0, count_hits);
   result.samples = m;
   result.estimate = static_cast<double>(hits) / static_cast<double>(m);
+  FillAdditiveInterval(&result, options.epsilon);
   return result;
 }
 

@@ -46,6 +46,11 @@ struct AfprasOptions {
 
 struct AfprasResult {
   double estimate = 0.0;
+  /// Additive confidence interval [estimate − ε, estimate + ε] clamped to
+  /// [0, 1] (a point when `exact`): the true ν lies inside with
+  /// probability >= 1 − δ (Hoeffding).
+  double ci_lo = 0.0;
+  double ci_hi = 0.0;
   int64_t samples = 0;
   /// Dimension actually sampled (after restriction to used variables).
   int sampled_dimension = 0;
@@ -56,6 +61,13 @@ struct AfprasResult {
 
 /// Number of samples required for additive error ε with confidence 1 − δ.
 int64_t AfprasSampleCount(double epsilon, double delta);
+
+/// Fills ci_lo/ci_hi from the estimate: the additive Hoeffding interval
+/// estimate ± ε clamped to [0, 1], collapsing to a point when `exact`.
+/// Shared by every AFPRAS-family engine (unconditional, conditional,
+/// probabilistic) so the interval the ranking scheduler prunes by cannot
+/// drift between them.
+void FillAdditiveInterval(AfprasResult* result, double epsilon);
 
 /// Runs the AFPRAS on φ. Constant formulae return exactly 0 or 1. Advances
 /// `rng` by one draw (Rng::Fork) and samples from substreams of the forked

@@ -1,5 +1,6 @@
 #include "src/measure/conditional.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -13,6 +14,9 @@ util::StatusOr<AfprasResult> ConditionalAfpras(
   if (options.epsilon <= 0 || options.epsilon > 1) {
     return util::Status::InvalidArgument("epsilon must be in (0, 1]");
   }
+  if (!(options.delta > 0) || !(options.delta < 1)) {
+    return util::Status::InvalidArgument("delta must be in (0, 1)");
+  }
   for (size_t i = 0; i < ranges.size(); ++i) {
     if (ranges[i].bounded() && *ranges[i].lo > *ranges[i].hi) {
       return util::Status::InvalidArgument(
@@ -23,6 +27,8 @@ util::StatusOr<AfprasResult> ConditionalAfpras(
   if (formula.is_constant()) {
     result.estimate =
         formula.kind() == constraints::RealFormula::Kind::kTrue ? 1.0 : 0.0;
+    result.exact = true;
+    FillAdditiveInterval(&result, options.epsilon);
     return result;
   }
 
@@ -93,6 +99,7 @@ util::StatusOr<AfprasResult> ConditionalAfpras(
       /*init=*/0, count_hits);
   result.samples = m;
   result.estimate = static_cast<double>(hits) / static_cast<double>(m);
+  FillAdditiveInterval(&result, options.epsilon);
   return result;
 }
 

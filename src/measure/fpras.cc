@@ -161,10 +161,17 @@ util::StatusOr<FprasResult> FprasFromBodies(const FprasBodySet& body_set,
   if (body_set.trivial) {
     result.trivial = true;
     result.estimate = body_set.trivial_value;
+    result.ci_lo = result.estimate;
+    result.ci_hi = result.estimate;
     return result;
   }
   result.active_disjuncts = static_cast<int>(body_set.bodies.size());
   if (body_set.bodies.empty()) {
+    // Every disjunct has measure zero (or empty interior): ν = 0 exactly,
+    // without sampling — report it as trivial so downstream consumers (the
+    // ranking scheduler's tier freeze, is_exact) treat it like the other
+    // exact paths.
+    result.trivial = true;
     result.estimate = 0.0;
     return result;
   }
@@ -182,6 +189,13 @@ util::StatusOr<FprasResult> FprasFromBodies(const FprasBodySet& body_set,
       volume::EstimateUnionVolume(body_set.bodies, uopts, rng));
   result.estimate =
       uv.volume / geom::BallVolume(body_set.sampled_dimension, 1.0);
+  // est ∈ [(1−ε)ν, (1+ε)ν] inverts to ν ∈ [est/(1+ε), est/(1−ε)]; at
+  // ε = 1 the upper bound is vacuous (and est/0 would be NaN for est = 0).
+  result.ci_lo = result.estimate / (1.0 + options.epsilon);
+  result.ci_hi =
+      options.epsilon >= 1.0
+          ? 1.0
+          : std::min(1.0, result.estimate / (1.0 - options.epsilon));
   result.sampling_steps = uv.steps;
   result.unique_bodies = uv.unique_bodies;
   result.body_cache_hits = uv.body_cache_hits;

@@ -66,6 +66,14 @@ struct FprasOptions {
 
 struct FprasResult {
   double estimate = 0.0;
+  /// Multiplicative confidence interval [estimate/(1+ε), estimate/(1−ε)]
+  /// clamped to [0, 1] (a point on the trivial/exact paths): inverting
+  /// est ∈ [(1−ε)ν, (1+ε)ν], the true ν lies inside whenever the FPRAS
+  /// succeeds (its constant success probability — ε controls the width,
+  /// not the failure rate). The ranking ladder (service/ranking_service.h)
+  /// prunes candidates by these bounds.
+  double ci_lo = 0.0;
+  double ci_hi = 0.0;
   /// Number of cone bodies with nonempty interior that entered the union
   /// estimate (before canonical dedup).
   int active_disjuncts = 0;

@@ -29,6 +29,8 @@ using constraints::RealFormula;
 MeasureResult ExactConstantResult(double value, Method method) {
   MeasureResult r;
   r.value = value;
+  r.ci_lo = value;
+  r.ci_hi = value;
   r.is_exact = true;
   r.exact_rational = util::Rational(value == 1.0 ? 1 : 0);
   r.method_used = method;
@@ -47,6 +49,8 @@ util::StatusOr<MeasureResult> RunAfpras(const RealFormula& formula,
   MUDB_ASSIGN_OR_RETURN(AfprasResult ar, Afpras(formula, aopts, rng));
   MeasureResult r;
   r.value = ar.estimate;
+  r.ci_lo = ar.ci_lo;
+  r.ci_hi = ar.ci_hi;
   r.is_exact = ar.exact;
   r.method_used = Method::kAfpras;
   r.samples = ar.samples;
@@ -67,6 +71,8 @@ util::StatusOr<MeasureResult> RunFpras(const RealFormula& formula,
   MUDB_ASSIGN_OR_RETURN(FprasResult fr, FprasConjunctive(formula, fopts, rng));
   MeasureResult r;
   r.value = fr.estimate;
+  r.ci_lo = fr.ci_lo;
+  r.ci_hi = fr.ci_hi;
   r.is_exact = fr.trivial;
   r.method_used = Method::kFpras;
   r.sampled_dimension = fr.sampled_dimension;
@@ -84,6 +90,8 @@ util::StatusOr<MeasureResult> RunExactOrder(const RealFormula& formula,
       NuExactOrder(formula, options.exact_order_max_vars));
   MeasureResult r;
   r.value = v.ToDouble();
+  r.ci_lo = r.value;
+  r.ci_hi = r.value;
   r.exact_rational = v;
   r.is_exact = true;
   r.method_used = Method::kExactOrder;
@@ -94,6 +102,8 @@ util::StatusOr<MeasureResult> RunExact2D(const RealFormula& formula) {
   MUDB_ASSIGN_OR_RETURN(double v, NuExact2D(formula));
   MeasureResult r;
   r.value = v;
+  r.ci_lo = v;
+  r.ci_hi = v;
   r.is_exact = true;
   r.method_used = Method::kExact2D;
   return r;
@@ -101,8 +111,20 @@ util::StatusOr<MeasureResult> RunExact2D(const RealFormula& formula) {
 
 }  // namespace
 
+util::Status ValidateMeasureOptions(const MeasureOptions& options) {
+  // Negated comparisons so NaN fails too.
+  if (!(options.epsilon > 0) || !(options.epsilon <= 1)) {
+    return util::Status::InvalidArgument("epsilon must be in (0, 1]");
+  }
+  if (!(options.delta > 0) || !(options.delta < 1)) {
+    return util::Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  return util::Status::OK();
+}
+
 util::StatusOr<MeasureResult> ComputeNu(const RealFormula& formula,
                                         const MeasureOptions& options) {
+  MUDB_RETURN_IF_ERROR(ValidateMeasureOptions(options));
   if (formula.kind() == RealFormula::Kind::kTrue) {
     return ExactConstantResult(1.0, options.method);
   }
@@ -158,6 +180,7 @@ util::StatusOr<MeasureResult> ComputeMeasure(const logic::Query& q,
                                              const model::Database& db,
                                              const model::Tuple& candidate,
                                              const MeasureOptions& options) {
+  MUDB_RETURN_IF_ERROR(ValidateMeasureOptions(options));
   translate::GroundOptions gopts;
   gopts.max_atoms = options.max_ground_atoms;
   MUDB_ASSIGN_OR_RETURN(translate::GroundResult ground,
@@ -169,6 +192,7 @@ util::StatusOr<MeasureResult> ComputeConditionalMeasure(
     const logic::Query& q, const model::Database& db,
     const model::Tuple& candidate, const NullRanges& ranges,
     const MeasureOptions& options) {
+  MUDB_RETURN_IF_ERROR(ValidateMeasureOptions(options));
   translate::GroundOptions gopts;
   gopts.max_atoms = options.max_ground_atoms;
   MUDB_ASSIGN_OR_RETURN(translate::GroundResult ground,
@@ -191,6 +215,8 @@ util::StatusOr<MeasureResult> ComputeConditionalMeasure(
       ConditionalAfpras(ground.formula, var_ranges, aopts, rng));
   MeasureResult result;
   result.value = ar.estimate;
+  result.ci_lo = ar.ci_lo;
+  result.ci_hi = ar.ci_hi;
   result.is_exact = ground.formula.is_constant();
   result.method_used = Method::kAfpras;
   result.samples = ar.samples;

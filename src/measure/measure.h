@@ -26,7 +26,11 @@
 // requests, deduplicates identical convex bodies within and across requests
 // via canonical content keys, and caches estimates — bit-identical to the
 // sequential calls, at a fraction of the sampling cost. Per-call reuse knobs
-// (`pool`, `body_cache` below) are what the service plugs into.
+// (`pool`, `body_cache` below) are what the service plugs into. Ranking
+// candidates ("which k tuples are most certain?") should go through
+// MeasureService::RunTopK (service/ranking_service.h): its ε-ladder prunes
+// hopeless candidates at coarse precision instead of paying the final ε for
+// all of them.
 
 #ifndef MUDB_SRC_MEASURE_MEASURE_H_
 #define MUDB_SRC_MEASURE_MEASURE_H_
@@ -100,6 +104,17 @@ struct MeasureOptions {
 struct MeasureResult {
   /// The (estimated or exact) value of μ / ν in [0, 1].
   double value = 0.0;
+  /// Confidence interval on the true measure, clamped to [0, 1]: with
+  /// probability >= 1 − δ it lies in [ci_lo, ci_hi]. Multiplicative
+  /// [value/(1+ε), value/(1−ε)] for the FPRAS, additive value ± ε for the
+  /// AFPRAS family, a point for exact paths. The ranking scheduler
+  /// (service/ranking_service.h) prunes candidates by these bounds.
+  double ci_lo = 0.0;
+  double ci_hi = 0.0;
+  /// ε-ladder tier this evaluation ran at: 0 on the direct API (one
+  /// evaluation = one tier); the ranking scheduler stamps the ladder tier
+  /// on each RankedCandidate::result (service/ranking_service.h).
+  int tier = 0;
   /// Set when the value is exact and rational (order engine).
   std::optional<util::Rational> exact_rational;
   /// True when the value is exact (0/1 shortcuts, exact engines).
@@ -121,6 +136,14 @@ struct MeasureResult {
   /// Dimension sampled after variable restriction.
   int sampled_dimension = 0;
 };
+
+/// Validates the error-model knobs once at the API boundary: ε must lie in
+/// (0, 1] and δ in (0, 1). Every public entry point (ComputeNu /
+/// ComputeMeasure / ComputeConditionalMeasure and the serving layer) calls
+/// this before doing any work — the ranking ladder's δ-splitting divides δ
+/// into per-tier budgets, so a degenerate δ must fail up front instead of
+/// flowing into AfprasSampleCount.
+util::Status ValidateMeasureOptions(const MeasureOptions& options);
 
 /// Computes ν(φ) for a grounded formula.
 util::StatusOr<MeasureResult> ComputeNu(

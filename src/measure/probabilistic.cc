@@ -68,10 +68,15 @@ util::StatusOr<AfprasResult> ProbabilisticMeasure(
   if (options.epsilon <= 0 || options.epsilon > 1) {
     return util::Status::InvalidArgument("epsilon must be in (0, 1]");
   }
+  if (!(options.delta > 0) || !(options.delta < 1)) {
+    return util::Status::InvalidArgument("delta must be in (0, 1)");
+  }
   AfprasResult result;
   if (formula.is_constant()) {
     result.estimate =
         formula.kind() == constraints::RealFormula::Kind::kTrue ? 1.0 : 0.0;
+    result.exact = true;
+    FillAdditiveInterval(&result, options.epsilon);
     return result;
   }
   std::set<int> used = formula.UsedVariables();
@@ -97,6 +102,7 @@ util::StatusOr<AfprasResult> ProbabilisticMeasure(
   }
   result.samples = m;
   result.estimate = static_cast<double>(hits) / static_cast<double>(m);
+  FillAdditiveInterval(&result, options.epsilon);
   return result;
 }
 

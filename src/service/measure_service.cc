@@ -62,6 +62,10 @@ util::StatusOr<measure::MeasureResult> MeasureService::Process(
     MeasureRequest& request) {
   total_requests_.fetch_add(1, std::memory_order_relaxed);
 
+  // Validate the error-model knobs before grounding or memo lookups: a
+  // degenerate ε/δ must fail identically on the service and direct paths.
+  MUDB_RETURN_IF_ERROR(measure::ValidateMeasureOptions(request.options));
+
   // Resolve the formula: ground the query form first (Prop. 5.3).
   const constraints::RealFormula* formula = nullptr;
   translate::GroundResult ground;

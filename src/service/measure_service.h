@@ -52,6 +52,9 @@
 
 namespace mudb::service {
 
+struct RankingOptions;  // ranking_service.h
+struct RankingOutcome;
+
 struct ServiceOptions {
   /// Worker threads for the estimators (0 or negative = all hardware
   /// threads). Results are bit-identical for any value.
@@ -150,6 +153,14 @@ class MeasureService {
     BatchStats stats;
   };
   BatchOutcome RunBatch(std::vector<MeasureRequest> requests);
+
+  /// Adaptive-precision top-k ranking over this service's caches: walks an
+  /// ε-ladder, pruning candidates whose confidence interval falls below
+  /// the k-th best, so most candidates never pay for the final precision.
+  /// One batch per tier (defined in ranking_service.cc; see RankingService
+  /// for the ladder, δ-split, and determinism contract).
+  util::StatusOr<RankingOutcome> RunTopK(
+      std::vector<MeasureRequest> candidates, const RankingOptions& options);
 
   /// Cache introspection (cheap; safe to call any time).
   CacheStats body_cache_stats() const { return body_cache_.stats(); }

@@ -72,9 +72,29 @@ class Lexer {
                 in_[pos_] == '.')) {
           ++pos_;
         }
+        // Scientific notation: [eE][+-]?digits. Only a well-formed exponent
+        // is consumed, so "1 e" keeps lexing as number + identifier.
+        if (pos_ < in_.size() && (in_[pos_] == 'e' || in_[pos_] == 'E')) {
+          size_t exp = pos_ + 1;
+          if (exp < in_.size() && (in_[exp] == '+' || in_[exp] == '-')) ++exp;
+          if (exp < in_.size() &&
+              std::isdigit(static_cast<unsigned char>(in_[exp]))) {
+            pos_ = exp;
+            while (pos_ < in_.size() &&
+                   std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+              ++pos_;
+            }
+          }
+        }
         std::string raw = in_.substr(start, pos_ - start);
         try {
-          double v = std::stod(raw);
+          size_t consumed = 0;
+          double v = std::stod(raw, &consumed);
+          // Trailing garbage ("1.2.3" parses as 1.2) must not silently
+          // truncate; overflow lands in the catch below.
+          if (consumed != raw.size()) {
+            return util::Status::InvalidArgument("bad number literal: " + raw);
+          }
           out.push_back({TokKind::kNumber, raw, raw, v, start});
         } catch (...) {
           return util::Status::InvalidArgument("bad number literal: " + raw);

@@ -1,5 +1,6 @@
 // Tests for the AFPRAS of Thm. 8.1.
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -48,6 +49,36 @@ TEST(AfprasTest, RejectsBadEpsilon) {
   EXPECT_FALSE(Afpras(RealFormula::Cmp(Z(0), CmpOp::kLt), opts, rng).ok());
   opts.epsilon = 1.5;
   EXPECT_FALSE(Afpras(RealFormula::Cmp(Z(0), CmpOp::kLt), opts, rng).ok());
+}
+
+TEST(AfprasTest, RejectsBadDelta) {
+  // δ was previously forwarded unchecked into AfprasSampleCount.
+  for (double bad : {0.0, 1.0, 2.0}) {
+    AfprasOptions opts;
+    opts.delta = bad;
+    util::Rng rng(1);
+    auto r = Afpras(RealFormula::Cmp(Z(0), CmpOp::kLt), opts, rng);
+    EXPECT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(AfprasTest, ReportsAdditiveConfidenceInterval) {
+  AfprasOptions opts;
+  opts.epsilon = 0.08;
+  util::Rng rng(3);
+  auto r = Afpras(RealFormula::Cmp(Z(0) + Z(1), CmpOp::kLt), opts, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->ci_lo, std::max(0.0, r->estimate - 0.08));
+  EXPECT_DOUBLE_EQ(r->ci_hi, std::min(1.0, r->estimate + 0.08));
+
+  // Exact answers collapse to a point.
+  util::Rng rng2(3);
+  auto t = Afpras(RealFormula::True(), opts, rng2);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->exact);
+  EXPECT_EQ(t->ci_lo, 1.0);
+  EXPECT_EQ(t->ci_hi, 1.0);
 }
 
 TEST(AfprasTest, HalfspaceConvergesToHalf) {

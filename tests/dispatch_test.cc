@@ -2,6 +2,8 @@
 // selection, exactness reporting, option validation, and the zero-one law of
 // [27] recovered for queries without numeric comparisons.
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "src/engine/naive.h"
@@ -38,6 +40,56 @@ TEST(DispatchTest, ConstantsAreExactUnderEveryMethod) {
     ASSERT_TRUE(zero.ok());
     EXPECT_DOUBLE_EQ(zero->value, 0.0);
   }
+}
+
+TEST(DispatchTest, DegenerateOptionsRejectedAtTheBoundary) {
+  // ε and δ are validated once at the API boundary, for every method —
+  // δ = 0 or δ = 2 must not flow into AfprasSampleCount (the ranking
+  // ladder splits δ, so a degenerate budget is a correctness bug there).
+  RealFormula f = RealFormula::Cmp(Z(0), CmpOp::kLt);
+  for (Method m : {Method::kAuto, Method::kExact2D, Method::kAfpras,
+                   Method::kFpras}) {
+    for (double bad_delta : {0.0, 1.0, 2.0, -0.5}) {
+      MeasureOptions opts;
+      opts.method = m;
+      opts.delta = bad_delta;
+      auto r = ComputeNu(f, opts);
+      EXPECT_FALSE(r.ok()) << MethodToString(m) << " delta " << bad_delta;
+      EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+    }
+    for (double bad_eps : {0.0, 1.5, -0.1}) {
+      MeasureOptions opts;
+      opts.method = m;
+      opts.epsilon = bad_eps;
+      auto r = ComputeNu(f, opts);
+      EXPECT_FALSE(r.ok()) << MethodToString(m) << " eps " << bad_eps;
+      EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+    }
+  }
+  EXPECT_TRUE(ValidateMeasureOptions(MeasureOptions{}).ok());
+}
+
+TEST(DispatchTest, ResultsCarryConfidenceIntervals) {
+  // Exact paths report point intervals; sampled paths bracket the value.
+  MeasureOptions exact;
+  std::vector<RealFormula> parts;
+  parts.push_back(RealFormula::Cmp(-Z(0), CmpOp::kLt));
+  parts.push_back(RealFormula::Cmp(-Z(1), CmpOp::kLt));
+  auto e = ComputeNu(RealFormula::And(parts), exact);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(e->is_exact);
+  EXPECT_EQ(e->ci_lo, e->value);
+  EXPECT_EQ(e->ci_hi, e->value);
+  EXPECT_EQ(e->tier, 0);
+
+  MeasureOptions afpras;
+  afpras.method = Method::kAfpras;
+  afpras.epsilon = 0.1;
+  auto a = ComputeNu(RealFormula::Cmp(Z(0) + Z(1) + Z(2), CmpOp::kLt),
+                     afpras);
+  ASSERT_TRUE(a.ok());
+  EXPECT_DOUBLE_EQ(a->ci_lo, std::max(0.0, a->value - 0.1));
+  EXPECT_DOUBLE_EQ(a->ci_hi, std::min(1.0, a->value + 0.1));
 }
 
 TEST(DispatchTest, AutoPrefersExact2DForTwoVariables) {

@@ -1,5 +1,6 @@
 // Tests for the FPRAS of Thm. 7.1 (CQ(+,<) images: linear constraint DNFs).
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -28,6 +29,24 @@ TEST(FprasTest, ConstantsAreTrivial) {
   auto f = FprasConjunctive(RealFormula::False(), opts, rng);
   ASSERT_TRUE(f.ok());
   EXPECT_DOUBLE_EQ(f->estimate, 0.0);
+}
+
+TEST(FprasTest, ReportsMultiplicativeConfidenceInterval) {
+  FprasOptions opts;
+  opts.epsilon = 0.2;
+  util::Rng rng(4);
+  auto r = FprasConjunctive(
+      RealFormula::Cmp(Z(0) + Z(1) - C(1), CmpOp::kLt), opts, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->ci_lo, r->estimate / 1.2);
+  EXPECT_DOUBLE_EQ(r->ci_hi, std::min(1.0, r->estimate / 0.8));
+
+  // Trivial answers collapse to a point.
+  util::Rng rng2(4);
+  auto t = FprasConjunctive(RealFormula::True(), opts, rng2);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->ci_lo, 1.0);
+  EXPECT_EQ(t->ci_hi, 1.0);
 }
 
 TEST(FprasTest, RejectsNonlinear) {

@@ -146,6 +146,60 @@ TEST(CsvRoundTripTest, PreservesConstantsAndMarks) {
   EXPECT_TRUE(t2[1][0].is_null());
 }
 
+TEST(CsvLoadTest, QuotedFieldSpansInputLines) {
+  // RFC 4180: a quoted field may contain embedded newlines. The record
+  // scanner must not tear it apart at the line break.
+  Database db;
+  auto rows = LoadCsvRelation(&db, ItemsSchema(),
+                              "name,price\n"
+                              "\"two\nlines\",1\n"
+                              "pear,2\n");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(*rows, 2u);
+  const auto& tuples = db.GetRelation("Items").value()->tuples();
+  EXPECT_EQ(tuples[0][0], Value::BaseConst("two\nlines"));
+  EXPECT_EQ(tuples[1][0], Value::BaseConst("pear"));
+}
+
+TEST(CsvRoundTripTest, QuotedDelimiterNewlineCellsSurvive) {
+  // Write → load is an identity even for cells that exercise every quoting
+  // rule at once: embedded delimiters, doubled quotes, newlines, carriage
+  // returns, plus numeric and marked-null columns alongside.
+  Database db;
+  ASSERT_TRUE(db.CreateRelation(ItemsSchema()).ok());
+  ASSERT_TRUE(db.Insert("Items", {Value::BaseConst("a,b"),
+                                  Value::NumConst(1.25)})
+                  .ok());
+  ASSERT_TRUE(db.Insert("Items", {Value::BaseConst("two\nlines"),
+                                  Value::NumConst(-3)})
+                  .ok());
+  ASSERT_TRUE(db.Insert("Items", {Value::BaseConst("say \"hi\",\n\"bye\""),
+                                  db.MakeNumNull()})
+                  .ok());
+  ASSERT_TRUE(db.Insert("Items", {Value::BaseConst("cr\rcell"),
+                                  Value::NumConst(2.5e-4)})
+                  .ok());
+
+  std::ostringstream out;
+  ASSERT_TRUE(
+      WriteCsvRelation(*db.GetRelation("Items").value(), out).ok());
+
+  Database db2;
+  auto rows = LoadCsvRelation(&db2, ItemsSchema(), out.str());
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(*rows, 4u);
+  const auto& t1 = db.GetRelation("Items").value()->tuples();
+  const auto& t2 = db2.GetRelation("Items").value()->tuples();
+  for (size_t r = 0; r < t1.size(); ++r) {
+    EXPECT_EQ(t1[r][0], t2[r][0]) << "row " << r;
+    if (!t1[r][1].is_null()) {
+      EXPECT_EQ(t1[r][1], t2[r][1]) << "row " << r;
+    } else {
+      EXPECT_TRUE(t2[r][1].is_null()) << "row " << r;
+    }
+  }
+}
+
 TEST(CsvEndToEndTest, LoadedDataFlowsThroughTheMeasurePipeline) {
   Database db;
   ASSERT_TRUE(LoadCsvRelation(

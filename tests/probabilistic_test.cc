@@ -63,6 +63,19 @@ TEST(DistributionTest, ToStringMentionsParameters) {
             std::string::npos);
 }
 
+TEST(ProbabilisticTest, RejectsBadDelta) {
+  // δ was previously forwarded unchecked into AfprasSampleCount.
+  for (double bad : {0.0, 1.0, 2.0}) {
+    AfprasOptions opts;
+    opts.delta = bad;
+    util::Rng rng(1);
+    auto r = ProbabilisticMeasure(RealFormula::Cmp(Z(0), CmpOp::kLt),
+                                  {Distribution::Gaussian(0, 1)}, opts, rng);
+    EXPECT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+  }
+}
+
 TEST(ProbabilisticTest, RequiresDistributionsForUsedVariables) {
   RealFormula f = RealFormula::Cmp(Z(1), CmpOp::kLt);
   util::Rng rng(3);

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <random>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -380,6 +381,30 @@ TEST(ServiceTest, MalformedAndFailingRequestsSurfaceTheirStatus) {
       MeasureRequest::Nu(Nonlinear3D(), Opts(Method::kFpras, 0.3, 1)));
   EXPECT_FALSE(MeasureService::Wait(again_ticket).ok());
   EXPECT_EQ(service.result_cache_stats().entries, 0);
+}
+
+TEST(ServiceTest, DegenerateOptionsFailIdenticallyOnBothPaths) {
+  // δ/ε validation happens once at the boundary: the direct API and the
+  // service reject the same degenerate options with the same code, and
+  // nothing is executed or memoized.
+  RealFormula f = ConeUnion();
+  for (auto [eps, delta] : std::vector<std::pair<double, double>>{
+           {0.3, 0.0}, {0.3, 2.0}, {0.0, 0.25}, {1.5, 0.25}}) {
+    MeasureOptions bad = Opts(Method::kFpras, eps, 5);
+    bad.delta = delta;
+    auto direct = measure::ComputeNu(f, bad);
+    EXPECT_FALSE(direct.ok());
+    EXPECT_EQ(direct.status().code(), util::StatusCode::kInvalidArgument);
+
+    MeasureService service;
+    auto ticket = service.Submit(MeasureRequest::Nu(f, bad));
+    auto served = MeasureService::Wait(ticket);
+    EXPECT_FALSE(served.ok());
+    EXPECT_EQ(served.status().code(), util::StatusCode::kInvalidArgument);
+    EXPECT_EQ(served.status().message(), direct.status().message());
+    EXPECT_EQ(service.result_cache_stats().entries, 0);
+    EXPECT_EQ(service.lifetime_stats().sampling_steps, 0);
+  }
 }
 
 TEST(ServiceTest, ExternalPoolIsHonored) {

@@ -70,6 +70,58 @@ TEST(SqlParserTest, BareColumnResolvedUnambiguously) {
   EXPECT_EQ(cq->output[0].name, "Orders.q");
 }
 
+TEST(SqlParserTest, TrailingGarbageInNumberLiteralRejected) {
+  Database db = SalesSchemaDb();
+  // "1.2.3" must not silently evaluate as 1.2.
+  auto cq = ParseSqlQuery("SELECT q FROM Orders WHERE q < 1.2.3", db);
+  EXPECT_FALSE(cq.ok());
+  EXPECT_EQ(cq.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(cq.status().message().find("1.2.3"), std::string::npos)
+      << cq.status();
+
+  auto dots = ParseSqlQuery("SELECT q FROM Orders WHERE q < 1..2", db);
+  EXPECT_FALSE(dots.ok());
+  EXPECT_EQ(dots.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(SqlParserTest, ScientificNotationLiterals) {
+  Database db = SalesSchemaDb();
+  auto cq = ParseSqlQuery(
+      "SELECT q FROM Orders WHERE q < 1e-3 AND q > 2.5E+4 AND q <> 3e2",
+      db);
+  ASSERT_TRUE(cq.ok()) << cq.status();
+  ASSERT_EQ(cq->comparisons.size(), 3u);
+  using logic::Term;
+  ASSERT_EQ(cq->comparisons[0].rhs.kind(), Term::Kind::kConst);
+  EXPECT_DOUBLE_EQ(cq->comparisons[0].rhs.const_value(), 1e-3);
+  ASSERT_EQ(cq->comparisons[1].rhs.kind(), Term::Kind::kConst);
+  EXPECT_DOUBLE_EQ(cq->comparisons[1].rhs.const_value(), 2.5e4);
+  ASSERT_EQ(cq->comparisons[2].rhs.kind(), Term::Kind::kConst);
+  EXPECT_DOUBLE_EQ(cq->comparisons[2].rhs.const_value(), 300.0);
+}
+
+TEST(SqlParserTest, ExponentWithoutDigitsIsNotConsumed) {
+  Database db = SalesSchemaDb();
+  // "2e" lexes as the number 2 followed by the identifier e — a parse
+  // error downstream, never a silently mangled literal.
+  auto cq = ParseSqlQuery("SELECT q FROM Orders WHERE q < 2e", db);
+  EXPECT_FALSE(cq.ok());
+  // An alias named like an exponent head keeps working.
+  auto ok = ParseSqlQuery("SELECT e.q FROM Orders e WHERE e.q < 1e1", db);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  ASSERT_EQ(ok->comparisons.size(), 1u);
+  EXPECT_DOUBLE_EQ(ok->comparisons[0].rhs.const_value(), 10.0);
+}
+
+TEST(SqlParserTest, OverflowingNumberLiteralRejected) {
+  Database db = SalesSchemaDb();
+  auto cq = ParseSqlQuery("SELECT q FROM Orders WHERE q < 1e999", db);
+  EXPECT_FALSE(cq.ok());
+  EXPECT_EQ(cq.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(cq.status().message().find("1e999"), std::string::npos)
+      << cq.status();
+}
+
 TEST(SqlParserTest, AmbiguousBareColumnRejected) {
   Database db = SalesSchemaDb();
   // "dis" is in Products, Orders and Market.
