@@ -20,6 +20,7 @@
 #include <thread>
 
 #include "bench/bench_json.h"
+#include "src/convex/batch_sampler.h"
 #include "src/convex/body.h"
 #include "src/convex/sampler.h"
 #include "src/measure/afpras.h"
@@ -30,10 +31,10 @@
 
 namespace {
 
-// Raw sampler throughput on one representative body: a random cone of n
-// halfspaces through the origin, the unit ball, and one annealing-style
-// inner ball — the constraint mix every FPRAS chain walks on.
-mudb::bench::BenchResult HnrKernelThroughput(int n, int64_t steps) {
+// The representative kernel body: a random cone of n halfspaces through the
+// origin, the unit ball, and one annealing-style inner ball — the constraint
+// mix every FPRAS chain walks on.
+mudb::convex::ConvexBody MakeKernelBody(int n) {
   using namespace mudb;  // NOLINT: bench brevity
   util::Rng cone_rng(7 + n);
   convex::ConvexBody body(n);
@@ -46,6 +47,13 @@ mudb::bench::BenchResult HnrKernelThroughput(int n, int64_t steps) {
   }
   body.AddBall(geom::Vec(n, 0.0), 1.0);
   body.AddBall(geom::Vec(n, 0.0), 0.7);
+  return body;
+}
+
+// Raw scalar sampler throughput (single chain, single thread).
+mudb::bench::BenchResult HnrKernelThroughput(int n, int64_t steps) {
+  using namespace mudb;  // NOLINT: bench brevity
+  convex::ConvexBody body = MakeKernelBody(n);
   convex::HitAndRunSampler sampler(&body, geom::Vec(n, 0.0));
   util::Rng rng(42);
   sampler.Walk(1000, rng);  // warm-up
@@ -58,6 +66,39 @@ mudb::bench::BenchResult HnrKernelThroughput(int n, int64_t steps) {
   r.wall_ms = ms;
   r.samples_per_sec = steps / (ms / 1e3);
   r.estimate = sampler.current()[0];  // determinism fingerprint
+  return r;
+}
+
+// Batched K-chain kernel throughput on the same body and step schedule.
+// Lane 0 runs the scalar row's exact substream (seed 42, same warm-up), so
+// its fingerprint must equal the scalar row's — the bench hard-asserts the
+// lane ≡ scalar bit-identity contract before reporting any speedup.
+mudb::bench::BenchResult HnrBatchThroughput(int n, int lanes,
+                                            int64_t steps_per_lane,
+                                            double scalar_fingerprint) {
+  using namespace mudb;  // NOLINT: bench brevity
+  convex::ConvexBody body = MakeKernelBody(n);
+  convex::BatchedHitAndRunSampler batched(&body, lanes);
+  std::vector<util::Rng> rngs;
+  for (int l = 0; l < lanes; ++l) {
+    rngs.push_back(util::Rng(l == 0 ? 42 : 4200 + l));
+    batched.ResetLane(l, geom::Vec(n, 0.0));
+  }
+  batched.WalkAll(1000, rngs.data());  // warm-up, matching the scalar row
+  util::WallTimer timer;
+  batched.WalkAll(static_cast<int>(steps_per_lane), rngs.data());
+  double ms = timer.ElapsedMillis();
+  geom::Vec lane0;
+  batched.GetCurrent(0, &lane0);
+  MUDB_CHECK(lane0[0] == scalar_fingerprint);
+  mudb::bench::BenchResult r;
+  r.workload =
+      "hnr_kernel_n" + std::to_string(n) + "_k" + std::to_string(lanes);
+  r.threads = 1;
+  r.wall_ms = ms;
+  // Aggregate chain steps per second: K lanes each advanced steps_per_lane.
+  r.samples_per_sec = lanes * steps_per_lane / (ms / 1e3);
+  r.estimate = lane0[0];  // determinism fingerprint (≡ scalar row)
   return r;
 }
 
@@ -180,13 +221,23 @@ int main(int argc, char** argv) {
         deterministic ? "ok" : "DIFF");
   }
 
-  // Raw kernel throughput (single chain, single thread): the steps/sec
-  // trajectory metric.
-  std::printf("# raw hit-and-run kernel, single chain:\n");
+  // Raw kernel throughput: the steps/sec trajectory metric. The scalar row
+  // first, then the K-sweep of the batched lockstep kernel on the same body
+  // (aggregate lane-steps/s; lane 0 re-runs the scalar substream and the
+  // bench aborts unless it lands bit-identically).
+  std::printf("# raw hit-and-run kernel (scalar chain, then batched K-sweep):\n");
   for (int n : {2, 3, 4, 5, 8}) {
     bench::BenchResult row = HnrKernelThroughput(n, kernel_steps);
-    std::printf("#   n=%d: %8.3f Msteps/s\n", n, row.samples_per_sec / 1e6);
+    std::printf("#   n=%d: scalar %8.3f Msteps/s", n,
+                row.samples_per_sec / 1e6);
     json.Add(row);
+    for (int lanes : {1, 2, 4, 8, 16}) {
+      bench::BenchResult batch =
+          HnrBatchThroughput(n, lanes, kernel_steps, row.estimate);
+      std::printf("  K%d %8.3f", lanes, batch.samples_per_sec / 1e6);
+      json.Add(batch);
+    }
+    std::printf("\n");
   }
 
   std::printf("# mean 4-thread speedup: %.2fx; estimates %s across thread "

@@ -6,16 +6,6 @@
 
 namespace mudb::convex {
 
-namespace {
-
-// Exact-recompute cadence for the incremental caches. Per-step drift is a
-// few ulps, so over an interval the accumulated error stays orders of
-// magnitude below the 1e-12 containment tolerance, while the amortized cost
-// of the O(m·n) refresh is negligible.
-constexpr int kRefreshInterval = 1024;
-
-}  // namespace
-
 HitAndRunSampler::HitAndRunSampler(const ConvexBody* body, geom::Vec start)
     : body_(body), x_(std::move(start)) {
   MUDB_CHECK(body_ != nullptr);
@@ -147,7 +137,7 @@ void HitAndRunSampler::Step(util::Rng& rng) {
     RefreshProducts();
     return;
   }
-  if (++steps_since_refresh_ >= kRefreshInterval) RefreshProducts();
+  if (++steps_since_refresh_ >= kSamplerRefreshInterval) RefreshProducts();
 }
 
 void HitAndRunSampler::Walk(int n, util::Rng& rng) {

@@ -1,5 +1,9 @@
 // Hit-and-run: a Markov chain whose stationary distribution is uniform over a
-// convex body. Used as the sampling oracle of the volume estimators.
+// convex body — the sampling oracle of the volume estimators. This is the
+// scalar reference kernel: the estimator chain grids themselves route
+// through the vectorized K-chain twin (convex/batch_sampler.h), whose lanes
+// must stay bit-identical to this sampler step for step; single chains and
+// the equivalence tests walk this one.
 //
 // The step kernel is allocation-free and touches each constraint once. The
 // sampler maintains ax = A·x (one entry per halfspace) and ||x − c_k||² (one
@@ -22,6 +26,16 @@
 #include "src/util/rng.h"
 
 namespace mudb::convex {
+
+/// Exact-recompute cadence of the incremental caches, shared by the scalar
+/// sampler and the batched K-chain kernel. Per-step drift is a few ulps, so
+/// over an interval the accumulated error stays orders of magnitude below
+/// the 1e-12 containment tolerance, while the amortized cost of the O(m·n)
+/// refresh is negligible. The schedule depends only on each chain's own step
+/// count — part of the determinism contract (chains stay pure functions of
+/// (body, start, rng stream)) and of the batched kernel's lane ≡ scalar
+/// bit-identity.
+inline constexpr int kSamplerRefreshInterval = 1024;
 
 /// Hit-and-run sampler over a ConvexBody. The chain must start at an interior
 /// point (e.g. the center of an inner ball). The body must not gain

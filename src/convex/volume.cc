@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "src/convex/batch_sampler.h"
+
 namespace mudb::convex {
 
 namespace {
@@ -50,6 +52,12 @@ VolumeEstimate EstimateVolume(const ConvexBody& body, const InnerBall& inner,
   }
 
   const int chunks = NumChunks(per_phase);
+  // Chunks route through the batched kernel in fixed power-of-two groups:
+  // chunk c is always lane (c − first) of its group's kernel and draws only
+  // from substream Split(c), so inside[c] — and the phase ratio — is
+  // bit-identical to a scalar sampler walking chunk c alone, at any group
+  // width and any thread count.
+  const std::vector<ChainGroup> groups = PartitionChainGrid(chunks);
   std::vector<int> inside(chunks);
   util::Rng base = rng.Fork();
   // One phase body for the whole schedule: only the annealing ball's radius
@@ -62,27 +70,51 @@ VolumeEstimate EstimateVolume(const ConvexBody& body, const InnerBall& inner,
     phase_body.SetBallRadius(anneal_ball, radii[i]);
     double prev_r2 = radii[i - 1] * radii[i - 1];
     util::Rng phase_rng = base.Split(i);
-    auto run_chunk = [&](int64_t c) {
-      // Chunk c samples its share of the phase budget with its own chain,
-      // started at the inner-ball center (interior of every phase body).
-      int samples = per_phase / chunks + (c < per_phase % chunks ? 1 : 0);
-      util::Rng chunk_rng = phase_rng.Split(c);
-      HitAndRunSampler sampler(&phase_body, inner.center);
-      sampler.Walk(10 * walk, chunk_rng);  // burn-in
-      int hits = 0;
-      for (int s = 0; s < samples; ++s) {
-        sampler.Walk(walk, chunk_rng);
-        const geom::Vec& x = sampler.current();
+    auto run_group = [&](int64_t g) {
+      const int first = groups[g].first;
+      const int width = groups[g].width;
+      // Every chunk in the group samples its share of the phase budget with
+      // its own chain lane, started at the inner-ball center (interior of
+      // every phase body). All lanes share one burn-in/walk schedule —
+      // except that the first (per_phase % chunks) chunks take one extra
+      // sample, a prefix of the lanes, walked as a subset at the end.
+      BatchedHitAndRunSampler sampler(&phase_body, width);
+      std::vector<util::Rng> lane_rng;
+      lane_rng.reserve(width);
+      std::vector<util::Rng*> rngs(width);
+      std::vector<int> lanes(width);
+      for (int l = 0; l < width; ++l) {
+        lane_rng.emplace_back(phase_rng.Split(first + l));
+        rngs[l] = &lane_rng[l];
+        lanes[l] = l;
+        sampler.ResetLane(l, inner.center);
+      }
+      sampler.WalkLanes(10 * walk, lanes.data(), width, rngs.data());  // burn-in
+      std::vector<int> hits(width, 0);
+      geom::Vec x;
+      auto tally = [&](int l) {
+        sampler.GetCurrent(l, &x);
         double d2 = 0.0;
         for (int j = 0; j < n; ++j) {
           double diff = x[j] - inner.center[j];
           d2 += diff * diff;
         }
-        if (d2 <= prev_r2) ++hits;
+        if (d2 <= prev_r2) ++hits[l];
+      };
+      const int base_samples = per_phase / chunks;
+      const int extra = std::clamp(per_phase % chunks - first, 0, width);
+      for (int s = 0; s < base_samples; ++s) {
+        sampler.WalkLanes(walk, lanes.data(), width, rngs.data());
+        for (int l = 0; l < width; ++l) tally(l);
       }
-      inside[c] = hits;
+      if (extra > 0) {
+        sampler.WalkLanes(walk, lanes.data(), extra, rngs.data());
+        for (int l = 0; l < extra; ++l) tally(l);
+      }
+      for (int l = 0; l < width; ++l) inside[first + l] = hits[l];
     };
-    util::ThreadPool::RunGrid(options.pool, chunks, run_chunk);
+    util::ThreadPool::RunGrid(options.pool, static_cast<int>(groups.size()),
+                              run_group);
     est.steps += static_cast<int64_t>(chunks) * 10 * walk +
                  static_cast<int64_t>(per_phase) * walk;
     int total_inside = 0;

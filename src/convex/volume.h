@@ -11,8 +11,12 @@
 // Each phase's sample budget is split across a fixed grid of independent
 // hit-and-run chains (grid size a function of the budget alone), chain
 // (phase, chunk) drawing from the substream Split(phase).Split(chunk) of the
-// forked call rng. The chains of one phase run in parallel on the optional
-// pool, and the estimate is bit-identical for any pool size — see
+// forked call rng. The chains walk in power-of-two lane groups through the
+// vectorized K-chain kernel (convex/batch_sampler.h, grouped by
+// PartitionChainGrid — also a pure function of the grid), and the groups of
+// one phase run in parallel on the optional pool. Every lane is
+// bit-identical to a scalar sampler walking its substream, so the estimate
+// is bit-identical for any group width and any pool size — see
 // thread_pool.h.
 
 #ifndef MUDB_SRC_CONVEX_VOLUME_H_
@@ -33,7 +37,7 @@ struct VolumeOptions {
   int walk_steps = 0;
   /// Samples per annealing phase; 0 means auto from epsilon and phase count.
   int samples_per_phase = 0;
-  /// Optional worker pool for the per-phase chains; nullptr runs them
+  /// Optional worker pool for the per-phase chain groups; nullptr runs them
   /// inline. Any pool size yields the identical estimate.
   util::ThreadPool* pool = nullptr;
 };

@@ -45,6 +45,38 @@ const ZigguratTables& Ziggurat() {
   return tables;
 }
 
+void BufferedMt19937_64::Refill() {
+  // The MT19937-64 twist (Matsumoto–Nishimura constants, as in
+  // std::mt19937_64), written as three wrap-free segments with the
+  // conditional xor in branchless form so the loops auto-vectorize.
+  constexpr uint64_t kMatrixA = 0xB5026F5AA96619E9ull;
+  constexpr uint64_t kUpperMask = 0xFFFFFFFF80000000ull;
+  constexpr uint64_t kLowerMask = 0x000000007FFFFFFFull;
+  uint64_t* __restrict s = state_;
+  for (int i = 0; i < kN - kM; ++i) {
+    const uint64_t y = (s[i] & kUpperMask) | (s[i + 1] & kLowerMask);
+    s[i] = s[i + kM] ^ (y >> 1) ^ ((0ull - (y & 1ull)) & kMatrixA);
+  }
+  for (int i = kN - kM; i < kN - 1; ++i) {
+    const uint64_t y = (s[i] & kUpperMask) | (s[i + 1] & kLowerMask);
+    s[i] = s[i + kM - kN] ^ (y >> 1) ^ ((0ull - (y & 1ull)) & kMatrixA);
+  }
+  const uint64_t y = (s[kN - 1] & kUpperMask) | (s[0] & kLowerMask);
+  s[kN - 1] = s[kM - 1] ^ (y >> 1) ^ ((0ull - (y & 1ull)) & kMatrixA);
+  // Temper the whole block into the output buffer in one vectorizable pass
+  // (std::mt19937_64 pays this per draw).
+  uint64_t* __restrict b = buffer_;
+  for (int i = 0; i < kN; ++i) {
+    uint64_t z = s[i];
+    z ^= (z >> 29) & 0x5555555555555555ull;
+    z ^= (z << 17) & 0x71D67FFFEDA60000ull;
+    z ^= (z << 37) & 0xFFF7EEE000000000ull;
+    z ^= z >> 43;
+    b[i] = z;
+  }
+  next_ = 0;
+}
+
 }  // namespace internal
 
 bool Rng::GaussianSlow(int idx, bool neg, double x, double* out) {
@@ -72,6 +104,12 @@ bool Rng::GaussianSlow(int idx, bool neg, double x, double* out) {
     return true;
   }
   return false;  // rejected: redraw a fresh layer
+}
+
+void GaussianFillLanes(Rng* rngs, int num_lanes, int n, double* out) {
+  for (int l = 0; l < num_lanes; ++l) {
+    rngs[l].GaussianFill(n, out + l, num_lanes);
+  }
 }
 
 }  // namespace mudb::util

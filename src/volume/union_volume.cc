@@ -5,7 +5,7 @@
 #include <memory>
 #include <unordered_map>
 
-#include "src/convex/sampler.h"
+#include "src/convex/batch_sampler.h"
 
 namespace mudb::volume {
 
@@ -133,46 +133,102 @@ util::StatusOr<UnionVolumeResult> EstimateUnionVolume(
   }
 
   const int chunks = NumChunks(num_samples, u);
+  // Chunks route through the batched kernel in fixed power-of-two groups:
+  // chunk c is always lane (c − first) of its group's per-body kernels and
+  // every one of its draws — picks, burn-ins, walks — comes from substream
+  // Split(c) in the scalar loop's order, so partial[c] is bit-identical to
+  // the scalar chunk at any group width and any thread count.
+  const std::vector<convex::ChainGroup> groups =
+      convex::PartitionChainGrid(chunks);
   std::vector<double> partial(chunks);
   std::vector<int64_t> chunk_steps(chunks);
-  auto run_chunk = [&](int64_t c) {
-    int samples = num_samples / chunks + (c < num_samples % chunks ? 1 : 0);
-    util::Rng chunk_rng = base.Split(c);
-    // Chains are created on first pick and persist (warm) across this
-    // chunk's samples; every draw comes from chunk_rng, so the chunk's
-    // sample path is a function of its substream alone.
-    std::vector<std::unique_ptr<convex::HitAndRunSampler>> samplers(u);
-    double sum_inv = 0.0;
-    int64_t steps = 0;
-    for (int s = 0; s < samples; ++s) {
-      double pick_u = chunk_rng.Uniform01();
-      int pick = static_cast<int>(
-          std::lower_bound(cdf.begin(), cdf.end(), pick_u) - cdf.begin());
-      pick = std::min(pick, u - 1);
-      const SeededBody& picked = bodies[uniq[pick]];
-      if (samplers[pick] == nullptr) {
-        samplers[pick] = std::make_unique<convex::HitAndRunSampler>(
-            &picked.body, picked.inner.center);
-        samplers[pick]->Walk(10 * walk, chunk_rng);  // burn-in
-        steps += 10 * walk;
-      }
-      samplers[pick]->Walk(walk, chunk_rng);
-      steps += walk;
-      const geom::Vec& x = samplers[pick]->current();
-      // m(x) over *unique* members: the union is a set, so duplicates must
-      // not inflate the ownership count (nor cost Contains scans).
-      int owners = 0;
-      for (int j = 0; j < u; ++j) {
-        if (uniq_volume[j] > 0 && bodies[uniq[j]].body.Contains(x)) ++owners;
-      }
-      // x came from body `pick`, so owners >= 1 (up to numerical tolerance).
-      owners = std::max(owners, 1);
-      sum_inv += 1.0 / owners;
+  auto run_group = [&](int64_t g) {
+    const int first = groups[g].first;
+    const int width = groups[g].width;
+    std::vector<util::Rng> lane_rng;
+    lane_rng.reserve(width);
+    std::vector<int> samples(width);
+    int max_samples = 0;
+    for (int l = 0; l < width; ++l) {
+      const int c = first + l;
+      lane_rng.emplace_back(base.Split(c));
+      samples[l] = num_samples / chunks + (c < num_samples % chunks ? 1 : 0);
+      max_samples = std::max(max_samples, samples[l]);
     }
-    partial[c] = sum_inv;
-    chunk_steps[c] = steps;
+    // One kernel per unique body, created on first pick; its lanes persist
+    // (warm) across the group's samples, initialized lazily so a chunk only
+    // pays burn-in for bodies it actually picks — exactly the scalar loop's
+    // lazily created per-chunk samplers, K chunks at a time.
+    std::vector<std::unique_ptr<convex::BatchedHitAndRunSampler>> samplers(u);
+    std::vector<double> sum_inv(width, 0.0);
+    std::vector<int64_t> steps(width, 0);
+    std::vector<int> pick(width);
+    std::vector<int> member(width);
+    std::vector<util::Rng*> member_rng(width);
+    geom::Vec x;
+    for (int s = 0; s < max_samples; ++s) {
+      for (int l = 0; l < width; ++l) {
+        if (s >= samples[l]) {
+          pick[l] = -1;  // this chunk's budget is spent; lane sits out
+          continue;
+        }
+        double pick_u = lane_rng[l].Uniform01();
+        int p = static_cast<int>(
+            std::lower_bound(cdf.begin(), cdf.end(), pick_u) - cdf.begin());
+        pick[l] = std::min(p, u - 1);
+      }
+      // The lanes that picked body b this round walk it in lockstep: the
+      // pick partitions the group, so each lane walks exactly once.
+      for (int b = 0; b < u; ++b) {
+        int count = 0;
+        for (int l = 0; l < width; ++l) {
+          if (pick[l] == b) {
+            member[count] = l;
+            member_rng[count] = &lane_rng[l];
+            ++count;
+          }
+        }
+        if (count == 0) continue;
+        const SeededBody& picked = bodies[uniq[b]];
+        if (samplers[b] == nullptr) {
+          samplers[b] = std::make_unique<convex::BatchedHitAndRunSampler>(
+              &picked.body, width);
+        }
+        for (int idx = 0; idx < count; ++idx) {
+          const int l = member[idx];
+          if (!samplers[b]->lane_initialized(l)) {
+            samplers[b]->ResetLane(l, picked.inner.center);
+            samplers[b]->WalkLanes(10 * walk, &member[idx], 1,
+                                   &member_rng[idx]);  // burn-in
+            steps[l] += 10 * walk;
+          }
+        }
+        samplers[b]->WalkLanes(walk, member.data(), count, member_rng.data());
+        for (int idx = 0; idx < count; ++idx) {
+          const int l = member[idx];
+          steps[l] += walk;
+          samplers[b]->GetCurrent(l, &x);
+          // m(x) over *unique* members: the union is a set, so duplicates
+          // must not inflate the ownership count (nor cost Contains scans).
+          int owners = 0;
+          for (int j = 0; j < u; ++j) {
+            if (uniq_volume[j] > 0 && bodies[uniq[j]].body.Contains(x)) {
+              ++owners;
+            }
+          }
+          // x came from body b, so owners >= 1 (up to numerical tolerance).
+          owners = std::max(owners, 1);
+          sum_inv[l] += 1.0 / owners;
+        }
+      }
+    }
+    for (int l = 0; l < width; ++l) {
+      partial[first + l] = sum_inv[l];
+      chunk_steps[first + l] = steps[l];
+    }
   };
-  util::ThreadPool::RunGrid(options.pool, chunks, run_chunk);
+  util::ThreadPool::RunGrid(options.pool, static_cast<int>(groups.size()),
+                            run_group);
   // Fixed-order reduction: float addition is not associative, so summing in
   // chunk order is what makes the estimate independent of scheduling.
   double sum_inv = 0.0;

@@ -27,7 +27,11 @@
 // loop is carved into a fixed chunk grid — a function of the sample budget
 // and unique-body count only — where chunk c draws everything (body picks
 // and walks) from Split(c), and the partial sums are reduced in chunk
-// order. Estimates are bit-identical for any pool size.
+// order. Chunks walk their picked bodies K at a time through the vectorized
+// lockstep kernel (convex/batch_sampler.h), grouped by
+// convex::PartitionChainGrid; chunk c is always lane (c − group first) and
+// every lane is bit-identical to a scalar chain on chunk c's substream, so
+// estimates are bit-identical for any group width and any pool size.
 
 #ifndef MUDB_SRC_VOLUME_UNION_VOLUME_H_
 #define MUDB_SRC_VOLUME_UNION_VOLUME_H_
@@ -80,7 +84,7 @@ struct UnionVolumeOptions {
   /// Options for the per-body volume estimates (set body_volume.pool to the
   /// same pool as `pool` to parallelize them as well).
   convex::VolumeOptions body_volume;
-  /// Optional worker pool for the Karp–Luby chunks; nullptr runs them
+  /// Optional worker pool for the Karp–Luby chunk groups; nullptr runs them
   /// inline. Any pool size yields the identical estimate.
   util::ThreadPool* pool = nullptr;
   /// Optional cross-call estimate cache (not owned). Hits skip a body's

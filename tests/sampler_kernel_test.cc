@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/convex/batch_sampler.h"
 #include "src/convex/body.h"
 #include "src/convex/sampler.h"
 #include "src/geom/geometry.h"
@@ -202,6 +203,64 @@ TEST(FusedKernelTest, SetCurrentResyncsCaches) {
   sampler.Walk(50, rng_a);
   fresh.Walk(50, rng_b);
   EXPECT_EQ(sampler.current(), fresh.current());
+}
+
+TEST(FusedKernelTest, BatchedLanesEquivalentToScalarAtEveryK) {
+  // Reference-equivalence for the K-chain lockstep kernel: at every
+  // dense-specialized K,
+  // every lane must track a scalar HitAndRunSampler on the same (body,
+  // start, substream) exactly, across the 1024-step refresh boundary (1500
+  // steps total, compared mid-walk so a drifting cache cannot re-converge).
+  util::Rng body_rng(321);
+  for (int dim : {2, 4}) {
+    RandomBody rb = MakeRandomBody(dim, body_rng);
+    for (int lanes : {1, 2, 4, 8, 16}) {
+      BatchedHitAndRunSampler batched(&rb.body, lanes);
+      std::vector<util::Rng> lane_rngs;
+      util::Rng base(1000 + dim);
+      for (int l = 0; l < lanes; ++l) {
+        lane_rngs.push_back(base.Split(l));
+        batched.ResetLane(l, rb.inside);
+      }
+      geom::Vec got;
+      for (int block = 0; block < 3; ++block) {
+        batched.WalkAll(500, lane_rngs.data());
+        for (int l = 0; l < lanes; ++l) {
+          util::Rng scalar_rng = base.Split(l);
+          HitAndRunSampler scalar(&rb.body, rb.inside);
+          scalar.Walk(500 * (block + 1), scalar_rng);
+          batched.GetCurrent(l, &got);
+          ASSERT_EQ(got, scalar.current())
+              << "dim " << dim << " K " << lanes << " lane " << l
+              << " after " << 500 * (block + 1) << " steps";
+        }
+      }
+    }
+  }
+}
+
+TEST(FusedKernelTest, BatchedWalkLoopIsAllocationFree) {
+  // Same contract as the scalar loop: after warm-up, lockstep walking must
+  // not allocate, and the count must not scale with steps.
+  util::Rng body_rng(909);
+  RandomBody rb = MakeRandomBody(5, body_rng);
+  const int lanes = 8;
+  BatchedHitAndRunSampler batched(&rb.body, lanes);
+  std::vector<util::Rng> lane_rngs;
+  for (int l = 0; l < lanes; ++l) {
+    lane_rngs.push_back(util::Rng(111 + l));
+    batched.ResetLane(l, rb.inside);
+  }
+  batched.WalkAll(100, lane_rngs.data());  // warm-up
+  auto count_allocs = [&](int steps) {
+    int64_t before = g_allocations.load(std::memory_order_relaxed);
+    batched.WalkAll(steps, lane_rngs.data());
+    return g_allocations.load(std::memory_order_relaxed) - before;
+  };
+  int64_t allocs_small = count_allocs(500);
+  int64_t allocs_large = count_allocs(5000);
+  EXPECT_EQ(allocs_small, allocs_large);
+  EXPECT_EQ(allocs_small, 0);
 }
 
 TEST(FusedKernelTest, StepLoopIsAllocationFree) {

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Fails when an intra-repo markdown link points at a missing file.
+
+Scans every tracked *.md file for inline links/images `[text](target)` and
+reference definitions `[label]: target`, resolves relative targets against
+the linking file's directory, and reports targets that do not exist in the
+working tree. External links (a URL scheme or protocol-relative `//`),
+pure in-page anchors (`#...`), and `mailto:` are out of scope — this is a
+docs-hygiene check for the repo's own cross-references (README/BUILDING/
+ARCHITECTURE/ROADMAP and friends), not a web crawler.
+
+Usage: tools/check_md_links.py [root]   (root defaults to the repo root)
+Exit status: 0 when every intra-repo link resolves, 1 otherwise.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+# Inline links and images: [text](target "optional title"). Nested brackets
+# in the text (e.g. badges) are rare in this repo; the non-greedy text match
+# with a lazy target is enough for the markdown we write.
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+# Reference-style definitions at line start: [label]: target
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+<?(\S+?)>?(?:\s+\"[^\"]*\")?\s*$")
+# Fenced code blocks — links inside them are examples, not references.
+FENCE = re.compile(r"^\s*(```|~~~)")
+
+SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def external(target: str) -> bool:
+    return target.startswith("//") or bool(SCHEME.match(target))
+
+
+def iter_links(text: str):
+    """Yields (line_number, target) for every link target in `text`."""
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = REF_DEF.match(line)
+        if m:
+            yield lineno, m.group(1)
+            continue
+        for m in INLINE_LINK.finditer(line):
+            yield lineno, m.group(1)
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else
+                           os.path.join(os.path.dirname(__file__), os.pardir))
+    files = subprocess.run(
+        ["git", "ls-files", "*.md"], cwd=root, check=True,
+        capture_output=True, text=True).stdout.split()
+
+    broken = []
+    checked = 0
+    for rel in files:
+        path = os.path.join(root, rel)
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        base = os.path.dirname(path)
+        for lineno, target in iter_links(text):
+            if external(target) or target.startswith("#"):
+                continue
+            # Strip an in-page anchor; an empty remainder is self-referential.
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(os.path.join(base, target))
+            # Targets that climb out of the repo are GitHub-web-relative
+            # (e.g. ../../actions/... badge links), not file references.
+            if os.path.commonpath([resolved, root]) != root:
+                continue
+            checked += 1
+            if not os.path.exists(resolved):
+                broken.append(f"{rel}:{lineno}: broken link -> {target}")
+
+    for line in broken:
+        print(line)
+    print(f"checked {checked} intra-repo links across {len(files)} markdown "
+          f"files: {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
