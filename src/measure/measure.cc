@@ -52,6 +52,7 @@ util::StatusOr<MeasureResult> RunAfpras(const RealFormula& formula,
   r.ci_lo = ar.ci_lo;
   r.ci_hi = ar.ci_hi;
   r.is_exact = ar.exact;
+  r.epsilon_used = ar.exact ? 0.0 : options.epsilon;
   r.method_used = Method::kAfpras;
   r.samples = ar.samples;
   r.sampled_dimension = ar.sampled_dimension;
@@ -74,6 +75,7 @@ util::StatusOr<MeasureResult> RunFpras(const RealFormula& formula,
   r.ci_lo = fr.ci_lo;
   r.ci_hi = fr.ci_hi;
   r.is_exact = fr.trivial;
+  r.epsilon_used = fr.trivial ? 0.0 : options.epsilon;
   r.method_used = Method::kFpras;
   r.sampled_dimension = fr.sampled_dimension;
   r.sampling_steps = fr.sampling_steps;
@@ -218,6 +220,7 @@ util::StatusOr<MeasureResult> ComputeConditionalMeasure(
   result.ci_lo = ar.ci_lo;
   result.ci_hi = ar.ci_hi;
   result.is_exact = ground.formula.is_constant();
+  result.epsilon_used = result.is_exact ? 0.0 : options.epsilon;
   result.method_used = Method::kAfpras;
   result.samples = ar.samples;
   result.sampled_dimension = ar.sampled_dimension;

@@ -115,6 +115,12 @@ struct MeasureResult {
   /// evaluation = one tier); the ranking scheduler stamps the ladder tier
   /// on each RankedCandidate::result (service/ranking_service.h).
   int tier = 0;
+  /// The ε this evaluation actually ran at: options.epsilon for the
+  /// randomized engines, 0 for exact paths (a point interval needs no
+  /// budget). The ranking layers thread it through tier results so a
+  /// session can tell how sharp a retained interval is without re-deriving
+  /// the tier schedule (service/ranking_session.h).
+  double epsilon_used = 0.0;
   /// Set when the value is exact and rational (order engine).
   std::optional<util::Rational> exact_rational;
   /// True when the value is exact (0/1 shortcuts, exact engines).

@@ -21,6 +21,12 @@ void EstimateCache::Insert(const convex::CanonicalBodyKey& key,
   cache_.Insert(key, estimate);
 }
 
-void EstimateCache::Clear() { cache_.Clear(); }
+void EstimateCache::Clear() {
+  // Reset the derived counter with the underlying cache: after a Clear,
+  // steps_saved() must not report savings from an epoch whose hit/miss
+  // counters are gone (hit-rate and steps-saved reporting would disagree).
+  cache_.Clear();
+  steps_saved_.store(0, std::memory_order_relaxed);
+}
 
 }  // namespace mudb::service

@@ -37,7 +37,10 @@
 
 namespace mudb::service {
 
-/// Operation counters of one cache. Monotonic over the cache's lifetime.
+/// Operation counters of one cache. Monotonic between Clear() calls —
+/// Clear() resets every counter together with the entries, so post-clear
+/// hit-rate reporting starts from zero instead of mixing epochs (a mixed
+/// snapshot could claim a hit rate no post-clear workload produced).
 struct CacheStats {
   int64_t hits = 0;
   int64_t misses = 0;
@@ -102,14 +105,26 @@ class ShardedLruCache {
     entries_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Empties every shard and resets all counters as one event. Every shard
+  /// lock is held across both, so concurrent Lookup/Insert traffic lands
+  /// entirely before or entirely after the reset — the previous per-shard
+  /// sweep let a racing epoch mix stale hit/miss totals with a zeroed entry
+  /// count, which made derived post-clear rates incoherent (negative deltas,
+  /// ratios above 1). Only Clear takes more than one shard lock, so the
+  /// ascending acquisition order cannot deadlock.
   void Clear() {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size());
+    for (Shard& shard : shards_) locks.emplace_back(shard.mu);
     for (Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
-      entries_.fetch_sub(static_cast<int64_t>(shard.lru.size()),
-                         std::memory_order_relaxed);
       shard.index.clear();
       shard.lru.clear();
     }
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    insertions_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
+    entries_.store(0, std::memory_order_relaxed);
   }
 
   CacheStats stats() const {
@@ -181,6 +196,8 @@ class EstimateCache : public volume::BodyEstimateCache {
   void Insert(const convex::CanonicalBodyKey& key,
               const volume::CachedBodyEstimate& estimate) override;
 
+  /// Empties the cache and resets stats() AND steps_saved() to zero (the
+  /// counters describe one epoch; see ShardedLruCache::Clear).
   void Clear();
   CacheStats stats() const { return cache_.stats(); }
   /// Total hit-and-run steps that Lookup hits avoided recomputing.

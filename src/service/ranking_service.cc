@@ -1,15 +1,12 @@
 #include "src/service/ranking_service.h"
 
-#include <algorithm>
-#include <functional>
 #include <string>
 #include <utility>
 
 #include "src/measure/measure.h"
+#include "src/service/ranking_session.h"
 
 namespace mudb::service {
-
-namespace {
 
 util::Status ValidateRankingOptions(const RankingOptions& options) {
   if (options.k < 1) {
@@ -17,6 +14,17 @@ util::Status ValidateRankingOptions(const RankingOptions& options) {
   }
   if (!(options.delta > 0) || !(options.delta < 1)) {
     return util::Status::InvalidArgument("ranking delta must be in (0, 1)");
+  }
+  // Negated comparison so a NaN per_estimate_delta fails too.
+  if (options.per_estimate_delta != 0.0 &&
+      (!(options.per_estimate_delta > 0) ||
+       !(options.per_estimate_delta < 1))) {
+    return util::Status::InvalidArgument(
+        "per_estimate_delta must be 0 (split delta) or lie in (0, 1)");
+  }
+  if (options.adaptive_ladder && options.max_tiers < 2) {
+    return util::Status::InvalidArgument(
+        "adaptive ladder needs max_tiers >= 2");
   }
   double prev = 2.0;
   for (double eps : options.ladder) {
@@ -33,10 +41,11 @@ util::Status ValidateRankingOptions(const RankingOptions& options) {
   return util::Status::OK();
 }
 
-}  // namespace
-
 double RankingTierDelta(const RankingOptions& options, size_t num_candidates) {
-  size_t tiers = options.ladder.size() + 1;
+  if (options.per_estimate_delta > 0) return options.per_estimate_delta;
+  size_t tiers = options.adaptive_ladder
+                     ? static_cast<size_t>(options.max_tiers)
+                     : options.ladder.size() + 1;
   size_t n = num_candidates > 0 ? num_candidates : 1;
   return options.delta /
          (static_cast<double>(tiers) * static_cast<double>(n));
@@ -44,112 +53,30 @@ double RankingTierDelta(const RankingOptions& options, size_t num_candidates) {
 
 util::StatusOr<RankingOutcome> RankingService::RankTopK(
     std::vector<MeasureRequest> candidates, const RankingOptions& options) {
-  MUDB_RETURN_IF_ERROR(ValidateRankingOptions(options));
-  const size_t n = candidates.size();
+  // A one-shot ranking IS a fresh session fed one all-inserts delta: ids
+  // are assigned densely in input order, so id == input index. Rerank
+  // validates options and candidates before executing anything.
+  RankingSession session(service_, options);
+  RankingDelta delta;
+  delta.inserts = std::move(candidates);
+  MUDB_ASSIGN_OR_RETURN(RerankOutcome rerank,
+                        session.Rerank(std::move(delta)));
+
   RankingOutcome outcome;
-  outcome.candidates.resize(n);
-  for (size_t i = 0; i < n; ++i) {
-    util::Status valid =
-        measure::ValidateMeasureOptions(candidates[i].options);
-    if (!valid.ok()) {
-      return util::Status::InvalidArgument(
-          "candidate " + std::to_string(i) + ": " + valid.message());
-    }
-    outcome.candidates[i].index = i;
+  outcome.candidates.reserve(rerank.candidates.size());
+  for (SessionCandidate& cand : rerank.candidates) {
+    RankedCandidate ranked;
+    ranked.index = static_cast<size_t>(cand.id);
+    ranked.result = std::move(cand.result);
+    ranked.pruned = cand.pruned;
+    outcome.candidates.push_back(std::move(ranked));
   }
-  if (n == 0) return outcome;
-
-  const double tier_delta = RankingTierDelta(options, n);
-  const size_t num_tiers = options.ladder.size() + 1;
-  const size_t k = static_cast<size_t>(options.k);
-
-  // active: still a top-k contender. done: at final precision (its own ε)
-  // or exact — never resubmitted, but its (tight) interval keeps competing.
-  std::vector<bool> active(n, true);
-  std::vector<bool> done(n, false);
-
-  for (size_t t = 0; t < num_tiers; ++t) {
-    // Assemble the tier batch from the unfinished survivors. A ladder ε at
-    // or below a candidate's own ε clamps to the final precision (that
-    // request IS the candidate's final evaluation).
-    std::vector<size_t> batch_index;
-    std::vector<double> batch_eps;
-    std::vector<MeasureRequest> batch;
-    for (size_t i = 0; i < n; ++i) {
-      if (!active[i] || done[i]) continue;
-      const double final_eps = candidates[i].options.epsilon;
-      double eps =
-          t < options.ladder.size() ? options.ladder[t] : final_eps;
-      if (eps <= final_eps) eps = final_eps;
-      MeasureRequest request = candidates[i];
-      request.options.epsilon = eps;
-      request.options.delta = tier_delta;
-      batch_index.push_back(i);
-      batch_eps.push_back(eps);
-      batch.push_back(std::move(request));
-    }
-    if (batch.empty()) break;  // every surviving candidate is finished
-
-    MeasureService::BatchOutcome tier = service_->RunBatch(std::move(batch));
-    outcome.tier_stats.push_back(tier.stats);
-    for (size_t b = 0; b < batch_index.size(); ++b) {
-      const size_t i = batch_index[b];
-      // batch_index ascends, so the propagated error is deterministically
-      // the lowest-index failure.
-      if (!tier.results[b].ok()) return tier.results[b].status();
-      RankedCandidate& cand = outcome.candidates[i];
-      cand.result = *tier.results[b];
-      cand.result.tier = static_cast<int>(t);
-      if (cand.result.is_exact ||
-          batch_eps[b] == candidates[i].options.epsilon) {
-        done[i] = true;
-      }
-    }
-
-    // Prune: drop every unfinished candidate whose upper bound falls
-    // strictly below the k-th largest lower bound among the active
-    // candidates (finished ones included — their tight intervals only
-    // sharpen the threshold; they themselves have nothing left to save and
-    // simply lose in the final sort). A pure function of the tier-t
-    // estimates: ties keep candidates, and the k holders of the top lower
-    // bounds always survive.
-    std::vector<double> lower;
-    lower.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      if (active[i]) lower.push_back(outcome.candidates[i].result.ci_lo);
-    }
-    if (lower.size() > k) {
-      std::nth_element(lower.begin(), lower.begin() + (k - 1), lower.end(),
-                       std::greater<double>());
-      const double threshold = lower[k - 1];
-      for (size_t i = 0; i < n; ++i) {
-        if (active[i] && !done[i] &&
-            outcome.candidates[i].result.ci_hi < threshold) {
-          active[i] = false;
-          outcome.candidates[i].pruned = true;
-        }
-      }
-    }
+  outcome.top_k.reserve(rerank.top_k.size());
+  for (CandidateId id : rerank.top_k) {
+    outcome.top_k.push_back(static_cast<size_t>(id));
   }
-
-  // Final ranking over the survivors, all of which hold final-precision
-  // estimates by now: sort by estimate, ties by input index.
-  std::vector<size_t> order;
-  order.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    if (active[i]) order.push_back(i);
-  }
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    const double ea = outcome.candidates[a].result.value;
-    const double eb = outcome.candidates[b].result.value;
-    if (ea != eb) return ea > eb;
-    return a < b;
-  });
-  if (order.size() > k) order.resize(k);
-  outcome.top_k = std::move(order);
-  for (const BatchStats& stats : outcome.tier_stats) {
-    outcome.total_sampling_steps += stats.sampling_steps;
-  }
+  outcome.tier_stats = std::move(rerank.tier_stats);
+  outcome.total_sampling_steps = rerank.total_sampling_steps;
   return outcome;
 }
 

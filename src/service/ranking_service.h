@@ -59,17 +59,54 @@ struct RankingOptions {
   /// Coarse-to-fine ε tiers walked before the final tier (each request's
   /// own options.epsilon). Values must lie in (0, 1] and strictly
   /// decrease; a tier at or below a request's own ε runs that candidate at
-  /// its final precision and finishes it early.
+  /// its final precision and finishes it early. In adaptive mode only the
+  /// first entry is used (the coarsest tier); later tiers are chosen from
+  /// the observed estimates.
   std::vector<double> ladder = {0.2, 0.1, 0.05};
   /// Total failure budget for the whole ranking decision, split across the
-  /// at most N·(ladder+1) estimates via the union bound (RankingTierDelta).
-  /// Each request's own options.delta is overridden by the split.
+  /// at most N·T estimates via the union bound (RankingTierDelta; T is the
+  /// ladder length + 1, or max_tiers in adaptive mode). Each request's own
+  /// options.delta is overridden by the split.
   double delta = 0.05;
+  /// When nonzero (must lie in (0, 1)): every tier request runs at exactly
+  /// this δ instead of the δ/(N·T) split. The caller owns the union-bound
+  /// arithmetic — the point of the knob is that request signatures then no
+  /// longer depend on N, so a RankingSession keeps its warm estimates
+  /// across inserts and removals (with the default split, any change to N
+  /// re-budgets every estimate and invalidates everything).
+  double per_estimate_delta = 0.0;
+  /// Adaptive ladder: instead of walking the fixed `ladder`, tier 0 runs at
+  /// ladder.front() and every later ε is chosen from the tier-t estimates
+  /// alone — survivor counts and the interval gaps around the k-th value,
+  /// under the steps ∝ 1/ε² cost model (tier_stats records the measured
+  /// per-tier costs the model abstracts). Once the active set is down to k
+  /// (the top-k set is separated), or an intermediate tier can no longer
+  /// prune more than it costs, the schedule jumps straight to the final
+  /// tier. Purely a schedule change: outcomes remain deterministic, and the
+  /// survivors' final evaluations are the same bit-identical requests.
+  bool adaptive_ladder = false;
+  /// Adaptive mode's tier budget for the δ split (total tiers including the
+  /// coarsest and the final; the schedule never exceeds it). Must be >= 2.
+  int max_tiers = 6;
+  /// Route intermediate tiers between engines, deterministically from the
+  /// tier-t estimates alone: a kFpras candidate (linear grounding, so the
+  /// AFPRAS applies too) whose estimate sits far from the running k-th
+  /// value — farther than the next tier's ε — and above the additive
+  /// floor runs its next intermediate tier on the cheap additive AFPRAS;
+  /// near the cut it keeps the multiplicative FPRAS, whose interval width
+  /// scales with the value. Final tiers always run the request's own
+  /// method, so routing never changes what a survivor reports.
+  bool route_engines = false;
 };
 
-/// The per-estimate δ every tier request runs at: δ / (N·T). Exposed so
-/// benches and tests can construct fixed-precision baselines whose final-
-/// tier requests are bit-identical to the ladder's.
+/// Validates k, δ, the ladder, and the adaptive knobs. Exposed because both
+/// the one-shot scheduler and RankingSession enforce it.
+util::Status ValidateRankingOptions(const RankingOptions& options);
+
+/// The per-estimate δ every tier request runs at: per_estimate_delta when
+/// set, else δ / (N·T) with T = ladder tiers + 1 (max_tiers in adaptive
+/// mode). Exposed so benches and tests can construct fixed-precision
+/// baselines whose final-tier requests are bit-identical to the ladder's.
 double RankingTierDelta(const RankingOptions& options, size_t num_candidates);
 
 /// Per-candidate outcome, in input order.
@@ -101,7 +138,10 @@ struct RankingOutcome {
 
 /// The ε-ladder scheduler on top of a MeasureService. Stateless besides the
 /// borrowed service (not owned); one RankTopK call at a time per service,
-/// as with RunBatch.
+/// as with RunBatch. Implemented as a one-shot RankingSession
+/// (ranking_session.h): callers that re-rank as the database mutates or
+/// candidates stream in should hold a session instead — Rerank(delta)
+/// reuses every estimate whose content signature survived the delta.
 class RankingService {
  public:
   explicit RankingService(MeasureService* service) : service_(service) {}

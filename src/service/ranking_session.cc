@@ -1,0 +1,435 @@
+#include "src/service/ranking_session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/service/request_key.h"
+#include "src/translate/ground.h"
+
+namespace mudb::service {
+
+namespace {
+
+// Values below this floor never route to the additive AFPRAS at an
+// intermediate tier: an additive ±ε interval around a small value is wider,
+// relatively, than the multiplicative FPRAS interval it would replace, so
+// the tier would lose pruning power exactly where the cut usually sits.
+constexpr double kRouteValueFloor = 0.15;
+
+// The k-th largest estimate among the active candidates — the running cut
+// the routing rule measures distance from. Falls back to the smallest
+// active estimate when fewer than k are active (then nobody is prunable and
+// the cut only gates routing).
+double KthLargestValue(const std::vector<SessionCandidate>& candidates,
+                       const std::vector<bool>& active, size_t k) {
+  std::vector<double> values;
+  values.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (active[i]) values.push_back(candidates[i].result.value);
+  }
+  if (values.empty()) return 0.0;
+  const size_t nth = std::min(k, values.size()) - 1;
+  std::nth_element(values.begin(), values.begin() + nth, values.end(),
+                   std::greater<double>());
+  return values[nth];
+}
+
+// Chooses the next adaptive tier's ε from the tier-t estimates alone — a
+// pure function of (estimates, options), so the schedule inherits the
+// determinism contract of the estimates. std::nullopt means "jump straight
+// to the final tier".
+std::optional<double> NextAdaptiveEps(
+    size_t t, double cur_eps, const RankingOptions& options,
+    const std::vector<SessionCandidate>& candidates,
+    const std::vector<bool>& active, const std::vector<bool>& frozen,
+    const std::vector<double>& final_eps, size_t k) {
+  // δ budget: the split paid for max_tiers tiers, so tier t+1 must be the
+  // final one once only one slot remains.
+  if (t + 2 >= static_cast<size_t>(options.max_tiers)) return std::nullopt;
+
+  const size_t n = candidates.size();
+  size_t num_active = 0;
+  size_t num_open = 0;  // active and not yet at final precision
+  for (size_t i = 0; i < n; ++i) {
+    if (!active[i]) continue;
+    ++num_active;
+    if (!frozen[i]) ++num_open;
+  }
+  if (num_open == 0) return std::nullopt;
+  // Separated: at most k contenders remain, so an intermediate tier cannot
+  // prune anyone — only the survivors' final refinement is left.
+  if (num_active <= k) return std::nullopt;
+
+  const double vk = KthLargestValue(candidates, active, k);
+
+  // Gap of every open candidate to the running cut. The median sets the
+  // scale the next tier must resolve to prune about half of them.
+  std::vector<double> gaps;
+  gaps.reserve(num_open);
+  for (size_t i = 0; i < n; ++i) {
+    if (active[i] && !frozen[i]) {
+      gaps.push_back(std::abs(candidates[i].result.value - vk));
+    }
+  }
+  std::sort(gaps.begin(), gaps.end());
+  const double median_gap = gaps[gaps.size() / 2];
+
+  // An interval of half-width ~gap/2 separates a candidate from the cut;
+  // clamp into [cur/4, cur/2] so tiers shrink geometrically however the
+  // gaps degenerate.
+  double eps = median_gap / 2;
+  eps = std::min(eps, cur_eps / 2);
+  eps = std::max(eps, cur_eps / 4);
+
+  // A tier at or below the open candidates' finest final ε would clamp for
+  // everyone — it would BE the final tier, so run the final tier instead.
+  double floor_eps = 1.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (active[i] && !frozen[i]) floor_eps = std::min(floor_eps, final_eps[i]);
+  }
+  if (eps <= floor_eps) return std::nullopt;
+
+  // Worth-it under the steps ∝ 1/ε² cost model: the tier charges every open
+  // candidate ~1/ε² and can at best save the prunable ones (gap wide enough
+  // for the tier to separate) their ~1/ε_final² refinement. Skip to final
+  // when the bound says the tier cannot pay for itself.
+  size_t prunable = 0;
+  for (double g : gaps) {
+    if (g / 2 > eps) ++prunable;
+  }
+  if (static_cast<double>(num_open) * floor_eps * floor_eps >=
+      static_cast<double>(prunable) * eps * eps) {
+    return std::nullopt;
+  }
+  return eps;
+}
+
+}  // namespace
+
+RankingSession::Slot* RankingSession::FindSlot(CandidateId id) {
+  auto it = std::lower_bound(
+      candidates_.begin(), candidates_.end(), id,
+      [](const Slot& slot, CandidateId value) { return slot.id < value; });
+  if (it == candidates_.end() || it->id != id) return nullptr;
+  return &*it;
+}
+
+const RankingSession::Slot* RankingSession::FindSlot(CandidateId id) const {
+  return const_cast<RankingSession*>(this)->FindSlot(id);
+}
+
+std::optional<SessionCandidate> RankingSession::Candidate(
+    CandidateId id) const {
+  const Slot* slot = FindSlot(id);
+  if (slot == nullptr || !slot->ranked) return std::nullopt;
+  return slot->last;
+}
+
+util::StatusOr<MeasureRequest> RankingSession::ResolveRequest(
+    MeasureRequest request, const std::string& what) {
+  util::Status valid = measure::ValidateMeasureOptions(request.options);
+  if (!valid.ok()) {
+    return util::Status::InvalidArgument(what + ": " + valid.message());
+  }
+  if (!request.formula.has_value()) {
+    if (request.query == nullptr || request.db == nullptr) {
+      return util::Status::InvalidArgument(
+          what + ": MeasureRequest needs a formula or a (query, db, candidate)");
+    }
+    translate::GroundOptions gopts;
+    gopts.max_atoms = request.options.max_ground_atoms;
+    util::StatusOr<translate::GroundResult> ground = translate::GroundQuery(
+        *request.query, *request.db, request.candidate, gopts);
+    if (!ground.ok()) {
+      return util::Status(ground.status().code(),
+                          what + ": " + ground.status().message());
+    }
+    request.formula = std::move(ground.value().formula);
+    // Drop the borrowed pointers: the session holds requests across calls,
+    // and the grounded formula is all the ladder needs.
+    request.query = nullptr;
+    request.db = nullptr;
+    request.candidate = model::Tuple{};
+  }
+  return request;
+}
+
+void RankingSession::ReleaseSlot(Slot& slot) {
+  for (const convex::CanonicalBodyKey& sig : slot.owned_sigs) {
+    auto it = memo_.find(sig);
+    if (it != memo_.end() && --it->second.refs <= 0) memo_.erase(it);
+  }
+  slot.owned_sigs.clear();
+}
+
+void RankingSession::TakeRef(Slot& slot,
+                             const convex::CanonicalBodyKey& sig) {
+  for (const convex::CanonicalBodyKey& owned : slot.owned_sigs) {
+    if (owned == sig) return;  // this slot already holds a reference
+  }
+  slot.owned_sigs.push_back(sig);
+  ++memo_[sig].refs;
+}
+
+util::Status RankingSession::ApplyDelta(RankingDelta&& delta,
+                                        RerankOutcome* outcome) {
+  // Validate and resolve EVERYTHING before touching the session, so a bad
+  // delta is all-or-nothing.
+  std::unordered_set<CandidateId> removed;
+  for (CandidateId id : delta.removals) {
+    if (FindSlot(id) == nullptr || removed.count(id) > 0) {
+      return util::Status::NotFound("removal: unknown candidate id " +
+                                    std::to_string(id));
+    }
+    removed.insert(id);
+  }
+  std::vector<std::pair<CandidateId, MeasureRequest>> staged_updates;
+  staged_updates.reserve(delta.updates.size());
+  for (auto& [id, request] : delta.updates) {
+    if (FindSlot(id) == nullptr || removed.count(id) > 0) {
+      return util::Status::NotFound("update: unknown candidate id " +
+                                    std::to_string(id));
+    }
+    MUDB_ASSIGN_OR_RETURN(
+        MeasureRequest resolved,
+        ResolveRequest(std::move(request), "candidate " + std::to_string(id)));
+    staged_updates.emplace_back(id, std::move(resolved));
+  }
+  std::vector<MeasureRequest> staged_inserts;
+  staged_inserts.reserve(delta.inserts.size());
+  for (size_t j = 0; j < delta.inserts.size(); ++j) {
+    // Inserts are named by the id they are about to receive, which for a
+    // fresh session makes the message match the input index.
+    MUDB_ASSIGN_OR_RETURN(
+        MeasureRequest resolved,
+        ResolveRequest(std::move(delta.inserts[j]),
+                       "candidate " + std::to_string(next_id_ + j)));
+    staged_inserts.push_back(std::move(resolved));
+  }
+
+  // Commit: removals → updates → inserts.
+  for (CandidateId id : delta.removals) {
+    auto it = std::lower_bound(
+        candidates_.begin(), candidates_.end(), id,
+        [](const Slot& slot, CandidateId value) { return slot.id < value; });
+    ReleaseSlot(*it);
+    candidates_.erase(it);
+  }
+  for (auto& [id, resolved] : staged_updates) {
+    Slot& slot = *FindSlot(id);
+    convex::CanonicalBodyKey key =
+        RequestSignature(*resolved.formula, resolved.options);
+    if (key == slot.content_key) {
+      // Identical content: the mutation is a no-op and every warm tier
+      // survives (this is the content-keyed part of invalidation).
+      slot.request = std::move(resolved);
+      continue;
+    }
+    ReleaseSlot(slot);
+    slot.request = std::move(resolved);
+    slot.content_key = key;
+    slot.last = SessionCandidate{};
+    slot.last.id = slot.id;
+    slot.ranked = false;
+    ++outcome->invalidated;
+  }
+  for (MeasureRequest& resolved : staged_inserts) {
+    Slot slot;
+    slot.id = next_id_++;
+    slot.content_key = RequestSignature(*resolved.formula, resolved.options);
+    slot.request = std::move(resolved);
+    slot.last.id = slot.id;
+    outcome->inserted_ids.push_back(slot.id);
+    candidates_.push_back(std::move(slot));
+  }
+  return util::Status::OK();
+}
+
+util::Status RankingSession::RunLadder(RerankOutcome* outcome) {
+  const size_t n = candidates_.size();
+  const size_t k = static_cast<size_t>(options_.k);
+  const double tier_delta = RankingTierDelta(options_, n);
+  const bool adaptive = options_.adaptive_ladder;
+
+  outcome->candidates.clear();
+  outcome->candidates.reserve(n);
+  std::vector<double> final_eps(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    SessionCandidate cand;
+    cand.id = candidates_[i].id;
+    outcome->candidates.push_back(cand);
+    final_eps[i] = candidates_[i].request.options.epsilon;
+  }
+
+  // active: still a top-k contender. frozen: at final precision (its own ε)
+  // or exact — never resubmitted, but its tight interval keeps competing.
+  std::vector<bool> active(n, true);
+  std::vector<bool> frozen(n, false);
+
+  // The nominal ε of the tier about to run; nullopt = the final tier
+  // (every candidate at its own ε). Fixed mode walks the ladder; adaptive
+  // mode starts at the ladder's coarsest entry and derives the rest.
+  std::optional<double> tier_eps;
+  // Routing context: the previous tier's running cut (k-th largest active
+  // estimate). Routing only kicks in once estimates exist at all.
+  bool have_cut = false;
+  double prev_vk = 0.0;
+
+  for (size_t t = 0;; ++t) {
+    if (t == 0) {
+      tier_eps = options_.ladder.empty()
+                     ? std::nullopt
+                     : std::optional<double>(options_.ladder.front());
+    } else if (!adaptive) {
+      tier_eps = t < options_.ladder.size()
+                     ? std::optional<double>(options_.ladder[t])
+                     : std::nullopt;
+    }
+    // (adaptive mode: tier_eps for t >= 1 was chosen at the end of the
+    // previous iteration, from that tier's estimates.)
+
+    // Assemble the tier from the unfinished survivors. A tier ε at or below
+    // a candidate's own ε clamps to the final precision — that request IS
+    // the candidate's final evaluation, so routing never applies to it.
+    struct Pending {
+      size_t idx;
+      double eps;
+      convex::CanonicalBodyKey sig;
+      bool warm;
+    };
+    std::vector<Pending> needed;
+    std::vector<size_t> batch_pending;  // positions in `needed` sent out
+    std::vector<MeasureRequest> batch;
+    for (size_t i = 0; i < n; ++i) {
+      if (!active[i] || frozen[i]) continue;
+      Slot& slot = candidates_[i];
+      double eps = tier_eps.has_value() ? *tier_eps : final_eps[i];
+      if (eps <= final_eps[i]) eps = final_eps[i];
+      MeasureRequest request = slot.request;
+      request.options.epsilon = eps;
+      request.options.delta = tier_delta;
+      if (options_.route_engines && eps != final_eps[i] && have_cut &&
+          request.options.method == measure::Method::kFpras) {
+        const double value = outcome->candidates[i].result.value;
+        if (value >= kRouteValueFloor && std::abs(value - prev_vk) > eps) {
+          request.options.method = measure::Method::kAfpras;
+        }
+      }
+      Pending pending;
+      pending.idx = i;
+      pending.eps = eps;
+      pending.sig = RequestSignature(*request.formula, request.options);
+      auto memo_it = memo_.find(pending.sig);
+      pending.warm = memo_it != memo_.end();
+      if (pending.warm) {
+        outcome->candidates[i].result = memo_it->second.result;
+        ++outcome->warm_hits;
+        TakeRef(slot, pending.sig);
+      } else {
+        batch_pending.push_back(needed.size());
+        batch.push_back(std::move(request));
+      }
+      needed.push_back(pending);
+    }
+    if (needed.empty()) break;  // every surviving candidate is finished
+    outcome->evaluations += static_cast<int64_t>(needed.size());
+
+    if (!batch.empty()) {
+      MeasureService::BatchOutcome tier = service_->RunBatch(std::move(batch));
+      outcome->tier_stats.push_back(tier.stats);
+      for (size_t b = 0; b < batch_pending.size(); ++b) {
+        const Pending& pending = needed[batch_pending[b]];
+        // batch order ascends by id, so the propagated error is
+        // deterministically the lowest-id failure.
+        if (!tier.results[b].ok()) return tier.results[b].status();
+        outcome->candidates[pending.idx].result = *tier.results[b];
+        memo_.try_emplace(pending.sig, MemoEntry{*tier.results[b], 0});
+        TakeRef(candidates_[pending.idx], pending.sig);
+      }
+    } else {
+      // All-warm tier: the replay walked it, the service never saw it.
+      outcome->tier_stats.push_back(BatchStats{});
+    }
+
+    for (const Pending& pending : needed) {
+      SessionCandidate& cand = outcome->candidates[pending.idx];
+      cand.result.tier = static_cast<int>(t);
+      if (cand.result.is_exact || pending.eps == final_eps[pending.idx]) {
+        frozen[pending.idx] = true;
+      }
+    }
+
+    // Prune: drop every unfinished candidate whose upper bound falls
+    // strictly below the k-th largest lower bound among the active
+    // candidates (finished ones included — their tight intervals only
+    // sharpen the threshold). A pure function of the tier-t estimates:
+    // ties keep candidates, and the k holders of the top lower bounds
+    // always survive — the active set can never shrink below min(n, k).
+    std::vector<double> lower;
+    lower.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (active[i]) lower.push_back(outcome->candidates[i].result.ci_lo);
+    }
+    if (lower.size() > k) {
+      std::nth_element(lower.begin(), lower.begin() + (k - 1), lower.end(),
+                       std::greater<double>());
+      const double threshold = lower[k - 1];
+      for (size_t i = 0; i < n; ++i) {
+        if (active[i] && !frozen[i] &&
+            outcome->candidates[i].result.ci_hi < threshold) {
+          active[i] = false;
+          outcome->candidates[i].pruned = true;
+        }
+      }
+    }
+
+    // Context for the next tier, from this tier's estimates alone.
+    prev_vk = KthLargestValue(outcome->candidates, active, k);
+    have_cut = true;
+    if (adaptive && tier_eps.has_value()) {
+      tier_eps = NextAdaptiveEps(t, *tier_eps, options_, outcome->candidates,
+                                 active, frozen, final_eps, k);
+    }
+  }
+
+  // Final ranking over the survivors, all of which hold final-precision
+  // estimates by now: sort by estimate, ties by ascending id.
+  std::vector<size_t> order;
+  order.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (active[i]) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const double ea = outcome->candidates[a].result.value;
+    const double eb = outcome->candidates[b].result.value;
+    if (ea != eb) return ea > eb;
+    return a < b;
+  });
+  if (order.size() > k) order.resize(k);
+  outcome->top_k.reserve(order.size());
+  for (size_t i : order) outcome->top_k.push_back(outcome->candidates[i].id);
+  for (size_t i = 0; i < n; ++i) outcome->candidates[i].frozen = frozen[i];
+  for (const BatchStats& stats : outcome->tier_stats) {
+    outcome->total_sampling_steps += stats.sampling_steps;
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<RerankOutcome> RankingSession::Rerank(RankingDelta delta) {
+  MUDB_RETURN_IF_ERROR(ValidateRankingOptions(options_));
+  RerankOutcome outcome;
+  MUDB_RETURN_IF_ERROR(ApplyDelta(std::move(delta), &outcome));
+  MUDB_RETURN_IF_ERROR(RunLadder(&outcome));
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    candidates_[i].last = outcome.candidates[i];
+    candidates_[i].ranked = true;
+  }
+  return outcome;
+}
+
+}  // namespace mudb::service

@@ -1,0 +1,193 @@
+// RankingSession: incremental / streaming re-ranking with content-keyed
+// delta invalidation.
+//
+// The one-shot scheduler (ranking_service.h) recomputes every ranking from
+// scratch, but the interactive workload mutates: the database refines nulls,
+// candidates stream in and drop out, and after each change almost every
+// tuple's certainty interval is exactly what it was. A RankingSession keeps
+// candidates across calls and exposes Rerank(RankingDelta) — inserts,
+// removals, and body mutations — so an update costs a small fraction of a
+// cold ranking (bench_rerank tracks the delta-vs-cold step ratio).
+//
+// How incrementality works — replay, don't patch. Every tier evaluation the
+// ladder performs is a pure function of its request signature
+// (request_key.h: formula content × method × ε × δ × seed), so the session
+// keeps a memo from signature to result. Rerank re-runs the full ladder
+// decision procedure over the current candidate set from tier 0 — pruning
+// thresholds, freezes, and the adaptive schedule are all recomputed — but
+// every evaluation whose signature is warm is served from the memo for free
+// (bit-identical to recomputation, zero sampling steps); only signatures
+// the memo has never seen reach the MeasureService. The decision procedure
+// itself costs microseconds; the samples are the expense, and those are
+// what the memo elides.
+//
+// Invalidation is content-keyed, not positional and not wall-clock: a
+// mutated candidate's new grounded formula produces new signatures, so its
+// stale entries are simply never looked up again (their refcounts drop and
+// they are garbage-collected); a mutation that grounds to the identical
+// content is a no-op and keeps every warm interval. Untouched candidates
+// keep their warm tiers and pay nothing — unless the ranking's pruning
+// threshold moved enough that the replay walks them through a tier they
+// never ran before, in which case exactly those new tiers are sampled.
+//
+// Determinism contract (the rerank contract): top_k, and every candidate's
+// result / pruned / frozen fields, are a pure function of the session's
+// final (id → candidate content) map and the options — independent of
+// thread count, submission order, and the delta sequence that produced the
+// state. Corollary: they are bit-identical to a cold ranking of the same
+// final candidate set (a fresh session, or RankTopK when ids are dense) —
+// bench_rerank hard-asserts this across thread counts before reporting.
+// Only the schedule accounting (tier_stats, warm_hits,
+// total_sampling_steps) depends on history: it reports what THIS call paid.
+//
+// One caveat the contract depends on: with the default δ/(N·T) split, a
+// delta that changes N re-budgets every request's δ, which changes every
+// signature — correct, but a full recompute. Streaming workloads that
+// insert/remove should set RankingOptions::per_estimate_delta so δ (and
+// hence every signature) is independent of N.
+//
+// Not thread-safe: one Rerank at a time, like RunBatch/RankTopK.
+
+#ifndef MUDB_SRC_SERVICE_RANKING_SESSION_H_
+#define MUDB_SRC_SERVICE_RANKING_SESSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/convex/canonical.h"
+#include "src/measure/measure.h"
+#include "src/service/measure_service.h"
+#include "src/service/ranking_service.h"
+#include "src/util/status.h"
+
+namespace mudb::service {
+
+/// Stable handle for one candidate in a session. Assigned by Rerank in
+/// insert order from a monotonic counter; never reused.
+using CandidateId = uint64_t;
+
+/// One batch of changes. Applied atomically (all-or-nothing) in the order
+/// removals → updates → inserts; an id unknown at its point of application
+/// fails the whole delta with NotFound and leaves the session untouched.
+struct RankingDelta {
+  /// New candidates; ids are assigned in order and returned in
+  /// RerankOutcome::inserted_ids.
+  std::vector<MeasureRequest> inserts;
+  /// Candidates to drop (their warm estimates are released).
+  std::vector<CandidateId> removals;
+  /// Body mutations: the candidate's request is replaced wholesale (the
+  /// grounded content decides invalidation — an update that grounds to the
+  /// same signature keeps every warm estimate).
+  std::vector<std::pair<CandidateId, MeasureRequest>> updates;
+};
+
+/// Per-candidate outcome of one Rerank, in ascending id order. The result /
+/// pruned / frozen fields obey the rerank determinism contract (pure
+/// function of final state); see the file comment.
+struct SessionCandidate {
+  CandidateId id = 0;
+  /// Freshest evaluation at the current content: value, [ci_lo, ci_hi],
+  /// tier, epsilon_used, engine accounting.
+  measure::MeasureResult result;
+  /// Eliminated before reaching its final ε this rerank.
+  bool pruned = false;
+  /// Reached its own final precision (or an exact engine froze it).
+  bool frozen = false;
+};
+
+struct RerankOutcome {
+  /// The top-k candidate ids, most certain first (ties by ascending id).
+  std::vector<CandidateId> top_k;
+  /// Every live candidate, ascending id.
+  std::vector<SessionCandidate> candidates;
+  /// Ids assigned to this delta's inserts, positionally aligned.
+  std::vector<CandidateId> inserted_ids;
+  /// Accounting for what THIS call executed (history-dependent): one entry
+  /// per tier the replay walked; all-warm tiers report zero requests.
+  std::vector<BatchStats> tier_stats;
+  /// Hit-and-run steps this call actually sampled (Σ tier_stats).
+  int64_t total_sampling_steps = 0;
+  /// Tier evaluations the ladder consumed, and how many of them the
+  /// session memo served without touching the service.
+  int64_t evaluations = 0;
+  int64_t warm_hits = 0;
+  /// Updated candidates whose new content invalidated their warm state
+  /// (an update that grounds to identical content does not count).
+  int64_t invalidated = 0;
+};
+
+/// Incremental re-ranking session over a borrowed MeasureService. See the
+/// file comment for the replay design and the determinism contract.
+class RankingSession {
+ public:
+  /// `service` outlives the session; `options` are validated on every
+  /// Rerank (so a default-constructed session with bad options fails
+  /// loudly, not at construction).
+  RankingSession(MeasureService* service, RankingOptions options)
+      : service_(service), options_(std::move(options)) {}
+
+  RankingSession(const RankingSession&) = delete;
+  RankingSession& operator=(const RankingSession&) = delete;
+
+  /// Applies `delta`, then ranks the surviving candidates. On any error —
+  /// invalid options, unknown id, a request that fails to ground or
+  /// evaluate — the returned outcome is the error status; delta validation
+  /// failures leave the session untouched, while an evaluation failure
+  /// leaves the delta applied and every tier completed so far warm (fix or
+  /// remove the offending candidate and Rerank again). Query-form requests
+  /// are grounded once here; they borrow their Query/Database only for the
+  /// duration of the call.
+  util::StatusOr<RerankOutcome> Rerank(RankingDelta delta = {});
+
+  /// Live candidate count.
+  size_t num_candidates() const { return candidates_.size(); }
+  /// Warm per-tier results currently retained across all candidates.
+  size_t memo_size() const { return memo_.size(); }
+  /// The last successful Rerank's outcome entry for `id` (nullopt when the
+  /// id is unknown, removed, or not yet ranked).
+  std::optional<SessionCandidate> Candidate(CandidateId id) const;
+
+ private:
+  struct Slot {
+    CandidateId id = 0;
+    MeasureRequest request;  // always formula-form after grounding
+    convex::CanonicalBodyKey content_key;  // signature of (content, options)
+    std::vector<convex::CanonicalBodyKey> owned_sigs;  // memo refs held
+    // Last successful rank's outcome (introspection only; rebuilt per
+    // Rerank, so these never feed the next call's decisions).
+    SessionCandidate last;
+    bool ranked = false;
+  };
+  struct MemoEntry {
+    measure::MeasureResult result;
+    int64_t refs = 0;
+  };
+  using MemoMap = std::unordered_map<convex::CanonicalBodyKey, MemoEntry,
+                                     convex::CanonicalBodyKey::Hash>;
+
+  /// Grounds a query-form request into formula form (no-op for formula
+  /// requests); validates its MeasureOptions.
+  util::StatusOr<MeasureRequest> ResolveRequest(MeasureRequest request,
+                                                const std::string& what);
+  util::Status ApplyDelta(RankingDelta&& delta, RerankOutcome* outcome);
+  void ReleaseSlot(Slot& slot);
+  void TakeRef(Slot& slot, const convex::CanonicalBodyKey& sig);
+  util::Status RunLadder(RerankOutcome* outcome);
+  Slot* FindSlot(CandidateId id);
+  const Slot* FindSlot(CandidateId id) const;
+
+  MeasureService* service_;
+  RankingOptions options_;
+  std::vector<Slot> candidates_;  // ascending id
+  MemoMap memo_;
+  CandidateId next_id_ = 0;
+};
+
+}  // namespace mudb::service
+
+#endif  // MUDB_SRC_SERVICE_RANKING_SESSION_H_

@@ -307,6 +307,154 @@ TEST(RankingTest, ValidationRejectsBadOptions) {
   EXPECT_EQ(service.lifetime_stats().requests, 0);
 }
 
+TEST(RankingTest, ValidationRejectsBadSessionKnobs) {
+  MeasureService service;
+
+  RankingOptions bad_per_estimate;
+  bad_per_estimate.per_estimate_delta = 1.0;
+  EXPECT_EQ(
+      service.RunTopK(WedgeBattery(0.2), bad_per_estimate).status().code(),
+      util::StatusCode::kInvalidArgument);
+
+  RankingOptions negative_per_estimate;
+  negative_per_estimate.per_estimate_delta = -0.1;
+  EXPECT_EQ(service.RunTopK(WedgeBattery(0.2), negative_per_estimate)
+                .status()
+                .code(),
+            util::StatusCode::kInvalidArgument);
+
+  RankingOptions small_budget;
+  small_budget.adaptive_ladder = true;
+  small_budget.max_tiers = 1;
+  EXPECT_EQ(service.RunTopK(WedgeBattery(0.2), small_budget).status().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.lifetime_stats().requests, 0);
+}
+
+TEST(RankingTest, NegativeKIsRejectedBeforeAnyWork) {
+  MeasureService service;
+  RankingOptions negative_k;
+  negative_k.k = -3;
+  auto outcome = service.RunTopK(WedgeBattery(0.2), negative_k);
+  EXPECT_EQ(outcome.status().code(), util::StatusCode::kInvalidArgument);
+  // k = 0 and k < 0 both fail the same validation, with zero requests
+  // executed — the nth_element path must never see a degenerate k.
+  negative_k.k = 0;
+  EXPECT_EQ(service.RunTopK(WedgeBattery(0.2), negative_k).status().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.lifetime_stats().requests, 0);
+}
+
+TEST(RankingTest, KLargerThanNRanksEveryCandidate) {
+  // k > N is a trivial outcome, not an error: nobody can be pruned (the
+  // threshold needs more than k active lower bounds), everyone refines to
+  // final precision, and top_k holds all N candidates in certainty order.
+  RankingOptions ropts = WedgeRanking();
+  ropts.k = kWedges + 20;
+  MeasureService service;
+  auto outcome = service.RunTopK(WedgeBattery(0.2), ropts);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_EQ(outcome->top_k.size(), static_cast<size_t>(kWedges));
+  for (const RankedCandidate& cand : outcome->candidates) {
+    EXPECT_FALSE(cand.pruned) << cand.index;
+  }
+  for (size_t r = 1; r < outcome->top_k.size(); ++r) {
+    const double prev = outcome->candidates[outcome->top_k[r - 1]].result.value;
+    const double cur = outcome->candidates[outcome->top_k[r]].result.value;
+    EXPECT_GE(prev, cur) << "rank " << r;
+  }
+}
+
+TEST(RankingTest, EmptyCandidateListWithLargeKIsStillEmpty) {
+  MeasureService service;
+  RankingOptions ropts;
+  ropts.k = 5;
+  auto outcome = service.RunTopK({}, ropts);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_TRUE(outcome->top_k.empty());
+  EXPECT_TRUE(outcome->candidates.empty());
+  EXPECT_TRUE(outcome->tier_stats.empty());
+  EXPECT_EQ(outcome->total_sampling_steps, 0);
+}
+
+TEST(RankingTest, PruningCascadeNeverShrinksActiveSetBelowK) {
+  // Aggressive setup: a long ladder over a wide certainty spread with a
+  // tiny k, so pruning cascades hard at every tier. The k holders of the
+  // top lower bounds always satisfy ci_hi >= ci_lo >= threshold, and the
+  // prune comparison is strict, so the active set can never fall below
+  // min(n, k) — this test locks that invariant against threshold rework.
+  RankingOptions ropts;
+  ropts.k = 2;
+  ropts.ladder = {0.8, 0.5, 0.3, 0.15};
+  ropts.delta = 0.1;
+  MeasureService service;
+  auto outcome = service.RunTopK(WedgeBattery(0.1), ropts);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+
+  int survivors = 0;
+  for (const RankedCandidate& cand : outcome->candidates) {
+    if (!cand.pruned) ++survivors;
+  }
+  EXPECT_GE(survivors, ropts.k);
+  ASSERT_EQ(outcome->top_k.size(), 2u);
+  std::vector<size_t> top = outcome->top_k;
+  std::sort(top.begin(), top.end());
+  std::vector<size_t> expected = {14, 15};
+  EXPECT_EQ(top, expected);
+  // Batches shrink monotonically; the cascade pruned someone early.
+  for (size_t t = 1; t < outcome->tier_stats.size(); ++t) {
+    EXPECT_GE(outcome->tier_stats[t - 1].requests,
+              outcome->tier_stats[t].requests)
+        << t;
+  }
+  EXPECT_LT(outcome->tier_stats.back().requests, kWedges);
+}
+
+TEST(RankingTest, DuplicateCandidatesGetBitIdenticalIntervalsAndTieOrder) {
+  // Each wedge twice, identical formula / ε / seed: the request signatures
+  // collide, so both copies must report bit-identical results, and the
+  // final sort must break their exact value ties by ascending input index.
+  std::vector<MeasureRequest> reqs;
+  for (int d = 0; d < 8; ++d) {
+    for (int copy = 0; copy < 2; ++copy) {
+      reqs.push_back(MeasureRequest::Nu(
+          Wedge(WedgeAngle(d)), Opts(Method::kFpras, 0.2, 100 + d)));
+    }
+  }
+  RankingOptions ropts = WedgeRanking();
+  MeasureService service;
+  auto outcome = service.RunTopK(std::move(reqs), ropts);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+
+  for (size_t pair = 0; pair < 8; ++pair) {
+    const MeasureResult& a = outcome->candidates[2 * pair].result;
+    const MeasureResult& b = outcome->candidates[2 * pair + 1].result;
+    EXPECT_EQ(a.value, b.value) << pair;
+    EXPECT_EQ(a.ci_lo, b.ci_lo) << pair;
+    EXPECT_EQ(a.ci_hi, b.ci_hi) << pair;
+    EXPECT_EQ(outcome->candidates[2 * pair].pruned,
+              outcome->candidates[2 * pair + 1].pruned)
+        << pair;
+  }
+  // Top-4: both copies of the two widest wedges (which of the two pairs
+  // leads follows the ε-level estimates), each pair adjacent and in
+  // ascending input order — exact value ties break by index.
+  ASSERT_EQ(outcome->top_k.size(), 4u);
+  std::vector<size_t> top = outcome->top_k;
+  std::sort(top.begin(), top.end());
+  std::vector<size_t> expected = {12, 13, 14, 15};
+  EXPECT_EQ(top, expected);
+  EXPECT_EQ(outcome->top_k[0] + 1, outcome->top_k[1]);
+  EXPECT_EQ(outcome->top_k[2] + 1, outcome->top_k[3]);
+  // The memo actually deduplicated: the second copy of every executed
+  // request was a cache hit.
+  int64_t hits = 0;
+  for (const BatchStats& stats : outcome->tier_stats) {
+    hits += stats.request_cache_hits;
+  }
+  EXPECT_GT(hits, 0);
+}
+
 TEST(RankingTest, RequestErrorsPropagate) {
   // A nonlinear formula forced onto the FPRAS fails; the ranking surfaces
   // that status instead of a partial ranking.
