@@ -1,0 +1,245 @@
+// Sharded-serving overhead and fault tolerance: the same candidate-sweep
+// workload as bench_service (64 FPRAS requests, 16 distinct formulas, each
+// repeated 4×, shared cone across the batch) pushed through
+// ShardedMeasureService, clean and under a 20% injected fault rate.
+//
+// Legs (BUILDING.md, "Profiling & benchmarks"):
+//   unsharded_batch64     — one MeasureService, the single-node baseline.
+//   sharded_cold_batch64  — a fresh 4-shard router, clean transport: the
+//                           cost of routing + delivery on cold caches.
+//   sharded_warm_batch64  — the identical batch again on the warm fabric:
+//                           per-shard memo replay through the router.
+//   sharded_fault20_batch64 — a fresh 4-shard router whose transport fails
+//                           20% of deliveries (seeded schedule, retries +
+//                           local-recompute degradation): the fault-
+//                           tolerance leg.
+//
+// Hard assertions before anything is reported: every leg completes every
+// request, every result is bit-identical to the unsharded baseline (the
+// determinism-under-faults contract), and the fault leg finishes within 2×
+// the clean cold leg's wall time.
+//
+// Rows (bench_json.h schema): samples_per_sec carries requests/sec;
+// estimate is the Σ of measure values (a determinism fingerprint) except
+// the *_retries / *_ratio rows, which carry that diagnostic instead.
+//
+// Flags: --json=<path>, --quick (one round, CI-sized).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "src/measure/measure.h"
+#include "src/service/measure_service.h"
+#include "src/service/sharded_service.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace mudb;  // NOLINT: bench brevity
+
+using constraints::CmpOp;
+using constraints::RealFormula;
+using poly::Polynomial;
+
+Polynomial Z(int i) { return Polynomial::Variable(i); }
+Polynomial C(double c) { return Polynomial::Constant(c); }
+
+constexpr int kBatch = 64;
+constexpr int kDistinct = 16;
+constexpr double kEpsilon = 0.35;
+constexpr int kShards = 4;
+constexpr double kFaultRate = 0.2;
+
+// Distinct request d: (shared positive orthant) ∨ (private cone d) — the
+// bench_service workload, so the sharded numbers are comparable to the
+// single-node ones.
+RealFormula Workload(int d) {
+  std::vector<RealFormula> shared;
+  for (int i = 0; i < 3; ++i) {
+    shared.push_back(RealFormula::Cmp(-Z(i), CmpOp::kLt));
+  }
+  std::vector<RealFormula> priv;
+  priv.push_back(RealFormula::Cmp(Z(0) + C(1.0 + d) * Z(1), CmpOp::kLt));
+  priv.push_back(RealFormula::Cmp(Z(1) + C(0.5 + d) * Z(2), CmpOp::kLt));
+  priv.push_back(RealFormula::Cmp(Z(2), CmpOp::kLt));
+  std::vector<RealFormula> ors{RealFormula::And(std::move(shared)),
+                               RealFormula::And(std::move(priv))};
+  return RealFormula::Or(std::move(ors));
+}
+
+measure::MeasureOptions RequestOptions() {
+  measure::MeasureOptions opts;
+  opts.method = measure::Method::kFpras;
+  opts.epsilon = kEpsilon;
+  return opts;
+}
+
+std::vector<service::MeasureRequest> MakeBatch() {
+  std::vector<service::MeasureRequest> reqs;
+  reqs.reserve(kBatch);
+  for (int r = 0; r < kBatch; ++r) {
+    reqs.push_back(service::MeasureRequest::Nu(Workload(r % kDistinct),
+                                               RequestOptions()));
+  }
+  return reqs;
+}
+
+service::ShardedServiceOptions ShardedOptions(bool faults, uint64_t seed) {
+  service::ShardedServiceOptions opts;
+  opts.num_shards = kShards;
+  opts.retry.max_attempts = 4;
+  opts.retry.backoff.initial_ms = 0.01;
+  opts.retry.backoff.max_ms = 0.1;
+  opts.degrade = service::DegradeMode::kLocalRecompute;
+  if (faults) {
+    service::FaultInjectorOptions injected;
+    injected.seed = seed;
+    injected.unavailable_rate = kFaultRate;
+    opts.faults = injected;
+  }
+  return opts;
+}
+
+struct LegResult {
+  double wall_ms = 0.0;
+  std::vector<double> values;
+  int64_t retries = 0;
+  int64_t degraded = 0;
+};
+
+LegResult RunUnsharded() {
+  LegResult leg;
+  service::MeasureService svc;
+  auto outcome = svc.RunBatch(MakeBatch());
+  for (const auto& result : outcome.results) {
+    if (!result.ok()) {
+      std::fprintf(stderr, "unsharded request failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    leg.values.push_back(result->value);
+  }
+  leg.wall_ms = outcome.stats.wall_ms;
+  return leg;
+}
+
+LegResult RunSharded(service::ShardedMeasureService& svc, const char* name) {
+  LegResult leg;
+  auto outcome = svc.RunBatch(MakeBatch());
+  for (const auto& result : outcome.results) {
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s request failed: %s\n", name,
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    leg.values.push_back(result->result.value);
+  }
+  leg.wall_ms = outcome.stats.wall_ms;
+  leg.retries = outcome.stats.retries;
+  leg.degraded = outcome.stats.degraded;
+  return leg;
+}
+
+void AssertBitIdentical(const LegResult& leg, const LegResult& baseline,
+                        const char* name) {
+  for (size_t i = 0; i < baseline.values.size(); ++i) {
+    if (leg.values.size() <= i || leg.values[i] != baseline.values[i]) {
+      std::fprintf(stderr,
+                   "FATAL: %s diverges from the unsharded baseline at "
+                   "request %zu\n",
+                   name, i);
+      std::exit(1);
+    }
+  }
+}
+
+double Sum(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::JsonFlagPath(argc, argv);
+  const bool quick = bench::QuickFlag(argc, argv);
+  const int rounds = quick ? 1 : 3;
+
+  double base_ms = 0.0, cold_ms = 0.0, warm_ms = 0.0, fault_ms = 0.0;
+  double value_sum = 0.0;
+  int64_t fault_retries = 0, fault_degraded = 0;
+  for (int round = 0; round < rounds; ++round) {
+    LegResult baseline = RunUnsharded();
+
+    service::ShardedMeasureService clean(
+        ShardedOptions(/*faults=*/false, 0));
+    LegResult cold = RunSharded(clean, "sharded_cold");
+    LegResult warm = RunSharded(clean, "sharded_warm");
+
+    service::ShardedMeasureService faulty(ShardedOptions(
+        /*faults=*/true, /*seed=*/static_cast<uint64_t>(round + 1)));
+    LegResult fault = RunSharded(faulty, "sharded_fault20");
+
+    // The contract the fabric exists to keep: sharding, retries, and the
+    // fault schedule never change a single result bit.
+    AssertBitIdentical(cold, baseline, "sharded_cold");
+    AssertBitIdentical(warm, baseline, "sharded_warm");
+    AssertBitIdentical(fault, baseline, "sharded_fault20");
+
+    base_ms += baseline.wall_ms;
+    cold_ms += cold.wall_ms;
+    warm_ms += warm.wall_ms;
+    fault_ms += fault.wall_ms;
+    value_sum = Sum(baseline.values);
+    fault_retries += fault.retries;
+    fault_degraded += fault.degraded;
+  }
+  base_ms /= rounds;
+  cold_ms /= rounds;
+  warm_ms /= rounds;
+  fault_ms /= rounds;
+  const double fault_ratio = fault_ms / cold_ms;
+  if (fault_ratio > 2.0) {
+    std::fprintf(stderr,
+                 "FATAL: 20%%-fault leg took %.2fx the fault-free leg "
+                 "(budget: 2x)\n",
+                 fault_ratio);
+    return 1;
+  }
+
+  auto req_per_sec = [](double ms) { return kBatch / (ms / 1e3); };
+  std::printf("%-24s %10s %12s\n", "leg", "wall_ms", "req/s");
+  std::printf("%-24s %10.1f %12.1f\n", "unsharded_batch64", base_ms,
+              req_per_sec(base_ms));
+  std::printf("%-24s %10.1f %12.1f\n", "sharded_cold_batch64", cold_ms,
+              req_per_sec(cold_ms));
+  std::printf("%-24s %10.1f %12.1f\n", "sharded_warm_batch64", warm_ms,
+              req_per_sec(warm_ms));
+  std::printf("%-24s %10.1f %12.1f\n", "sharded_fault20_batch64", fault_ms,
+              req_per_sec(fault_ms));
+  std::printf(
+      "fault leg: %.2fx fault-free wall, %lld retries, %lld degraded "
+      "(per %d rounds)\n",
+      fault_ratio, static_cast<long long>(fault_retries),
+      static_cast<long long>(fault_degraded), rounds);
+
+  bench::BenchJson json("sharded");
+  json.Add({"unsharded_batch64", 1, base_ms, req_per_sec(base_ms),
+            value_sum});
+  json.Add({"sharded_cold_batch64", kShards, cold_ms, req_per_sec(cold_ms),
+            value_sum});
+  json.Add({"sharded_warm_batch64", kShards, warm_ms, req_per_sec(warm_ms),
+            value_sum});
+  json.Add({"sharded_fault20_batch64", kShards, fault_ms,
+            req_per_sec(fault_ms), value_sum});
+  json.Add({"sharded_fault20_retries", kShards, fault_ms, 0.0,
+            static_cast<double>(fault_retries) / rounds});
+  json.Add({"sharded_fault20_over_cold_ratio", kShards, fault_ms, 0.0,
+            fault_ratio});
+  if (!json.WriteTo(json_path)) return 1;
+  return 0;
+}

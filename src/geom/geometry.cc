@@ -31,10 +31,27 @@ void AddScaledInPlace(Vec& a, double s, const Vec& b) {
   for (size_t i = 0; i < a.size(); ++i) a[i] += s * b[i];
 }
 
+namespace {
+
+// Thread-safe lgamma: glibc's lgamma() writes the process-global `signgam`,
+// which races when shard workers evaluate volumes concurrently. The
+// argument here is always > 0 (n/2 + 1), so the sign is statically +1 and
+// the reentrant variant (or any signgam-free implementation) is exact.
+double LGammaPositive(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
+
 double BallVolume(int n, double r) {
   MUDB_CHECK(n >= 0);
   // log V = (n/2)·log π − lgamma(n/2 + 1) + n·log r.
-  double log_v = 0.5 * n * std::log(M_PI) - std::lgamma(0.5 * n + 1.0) +
+  double log_v = 0.5 * n * std::log(M_PI) - LGammaPositive(0.5 * n + 1.0) +
                  n * std::log(r);
   return std::exp(log_v);
 }

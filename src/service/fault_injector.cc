@@ -1,0 +1,67 @@
+#include "src/service/fault_injector.h"
+
+#include "src/util/status.h"
+
+namespace mudb::service {
+
+FaultInjector::FaultInjector(int num_shards,
+                             const FaultInjectorOptions& options)
+    : options_(options) {
+  MUDB_CHECK(num_shards >= 1);
+  shards_.reserve(static_cast<size_t>(num_shards));
+  util::Rng root(options.seed);
+  for (int s = 0; s < num_shards; ++s) {
+    auto state = std::make_unique<ShardState>();
+    state->rng = root.Split(static_cast<uint64_t>(s));
+    shards_.push_back(std::move(state));
+  }
+}
+
+FaultInjector::Decision FaultInjector::Decide(int shard) {
+  MUDB_CHECK(shard >= 0 && shard < num_shards());
+  ShardState& state = *shards_[static_cast<size_t>(shard)];
+  Decision decision;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.down) {
+      decision.fail = true;
+    } else if (state.fail_next > 0) {
+      --state.fail_next;
+      decision.fail = true;
+    }
+    // The random schedule always advances by exactly two draws per call —
+    // even when an explicit control already decided — so explicit controls
+    // never shift the positions of later scheduled faults.
+    const double fail_draw = state.rng.Uniform01();
+    const double latency_draw = state.rng.Uniform01();
+    if (!decision.fail && fail_draw < options_.unavailable_rate) {
+      decision.fail = true;
+    }
+    if (latency_draw < options_.latency_rate) {
+      decision.latency_ms = options_.latency_spike_ms;
+    }
+  }
+  if (decision.fail) {
+    injected_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (decision.latency_ms > 0) {
+    injected_latency_spikes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return decision;
+}
+
+void FaultInjector::FailNext(int shard, int k) {
+  MUDB_CHECK(shard >= 0 && shard < num_shards());
+  ShardState& state = *shards_[static_cast<size_t>(shard)];
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.fail_next += k;
+}
+
+void FaultInjector::SetDown(int shard, bool down) {
+  MUDB_CHECK(shard >= 0 && shard < num_shards());
+  ShardState& state = *shards_[static_cast<size_t>(shard)];
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.down = down;
+}
+
+}  // namespace mudb::service

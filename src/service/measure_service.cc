@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/service/service_errors.h"
 #include "src/translate/ground.h"
 #include "src/util/timer.h"
 
@@ -58,13 +59,24 @@ void MeasureService::DispatcherLoop() {
   }
 }
 
+util::Status MeasureService::Attribute(util::Status status) const {
+  if (status.ok() || options_.shard_id < 0) return status;
+  util::Status attributed(
+      status.code(), "[shard " + std::to_string(options_.shard_id) + "] " +
+                         status.message());
+  attributed.WithShard(options_.shard_id);
+  return attributed;
+}
+
 util::StatusOr<measure::MeasureResult> MeasureService::Process(
     MeasureRequest& request) {
   total_requests_.fetch_add(1, std::memory_order_relaxed);
 
   // Validate the error-model knobs before grounding or memo lookups: a
-  // degenerate ε/δ must fail identically on the service and direct paths.
-  MUDB_RETURN_IF_ERROR(measure::ValidateMeasureOptions(request.options));
+  // degenerate ε/δ must fail identically on the service and direct paths
+  // (byte-identical when unsharded; sharded services stamp their shard id).
+  util::Status valid = measure::ValidateMeasureOptions(request.options);
+  if (!valid.ok()) return Attribute(std::move(valid));
 
   // Resolve the formula: ground the query form first (Prop. 5.3).
   const constraints::RealFormula* formula = nullptr;
@@ -73,14 +85,15 @@ util::StatusOr<measure::MeasureResult> MeasureService::Process(
     formula = &*request.formula;
   } else {
     if (request.query == nullptr || request.db == nullptr) {
-      return util::Status::InvalidArgument(
-          "MeasureRequest needs a formula or a (query, db, candidate)");
+      return Attribute(util::Status::InvalidArgument(
+          "MeasureRequest needs a formula or a (query, db, candidate)"));
     }
     translate::GroundOptions gopts;
     gopts.max_atoms = request.options.max_ground_atoms;
-    MUDB_ASSIGN_OR_RETURN(
-        ground, translate::GroundQuery(*request.query, *request.db,
-                                       request.candidate, gopts));
+    util::StatusOr<translate::GroundResult> grounded = translate::GroundQuery(
+        *request.query, *request.db, request.candidate, gopts);
+    if (!grounded.ok()) return Attribute(grounded.status());
+    ground = std::move(grounded).value();
     formula = &ground.formula;
   }
 
@@ -101,6 +114,13 @@ util::StatusOr<measure::MeasureResult> MeasureService::Process(
   if (opts.body_cache == nullptr) opts.body_cache = &body_cache_;
   util::StatusOr<measure::MeasureResult> result =
       ComputeNu(*formula, opts);
+  if (!result.ok()) {
+    // Execution failures name the request (and the shard, when sharded) so
+    // one bad request in a batch of dozens is attributable from its status
+    // alone: "[req:9f3a6b21 shard 2] <engine message>".
+    return AnnotateRequestError(result.status(), signature,
+                                options_.shard_id);
+  }
   if (result.ok()) {
     total_body_cache_hits_.fetch_add(result->body_cache_hits,
                                      std::memory_order_relaxed);

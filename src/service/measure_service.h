@@ -68,6 +68,12 @@ struct ServiceOptions {
   size_t result_cache_capacity = 4096;
   /// Shards for both caches (rounded up to a power of two).
   int cache_shards = 8;
+  /// Identity of this service inside a sharded fabric (sharded_service.h):
+  /// >= 0 makes every error this service produces carry the shard id, both
+  /// in the message and in the structured util::StatusContext payload, so
+  /// batch failures are attributable. -1 (the default) = unsharded; error
+  /// messages then stay byte-identical to the direct ComputeNu path.
+  int shard_id = -1;
 };
 
 /// One measurement request: a pre-grounded formula, or a (query, database,
@@ -182,6 +188,10 @@ class MeasureService {
 
   void DispatcherLoop();
   util::StatusOr<measure::MeasureResult> Process(MeasureRequest& request);
+  /// Stamps the shard id onto pre-signature errors (validation, grounding)
+  /// when this service runs inside a sharded fabric; pass-through when
+  /// unsharded, keeping those messages byte-identical to the direct path.
+  util::Status Attribute(util::Status status) const;
 
   ServiceOptions options_;
   std::unique_ptr<util::ThreadPool> owned_pool_;

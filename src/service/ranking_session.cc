@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/service/request_key.h"
+#include "src/service/service_errors.h"
 #include "src/translate/ground.h"
 
 namespace mudb::service {
@@ -180,11 +181,12 @@ util::Status RankingSession::ApplyDelta(RankingDelta&& delta,
                                         RerankOutcome* outcome) {
   // Validate and resolve EVERYTHING before touching the session, so a bad
   // delta is all-or-nothing.
+  // Error references go through service_errors.h (CandidateRef) so session
+  // messages stay format-uniform with the rest of the serving layer.
   std::unordered_set<CandidateId> removed;
   for (CandidateId id : delta.removals) {
     if (FindSlot(id) == nullptr || removed.count(id) > 0) {
-      return util::Status::NotFound("removal: unknown candidate id " +
-                                    std::to_string(id));
+      return util::Status::NotFound("removal: unknown " + CandidateRef(id));
     }
     removed.insert(id);
   }
@@ -192,12 +194,11 @@ util::Status RankingSession::ApplyDelta(RankingDelta&& delta,
   staged_updates.reserve(delta.updates.size());
   for (auto& [id, request] : delta.updates) {
     if (FindSlot(id) == nullptr || removed.count(id) > 0) {
-      return util::Status::NotFound("update: unknown candidate id " +
-                                    std::to_string(id));
+      return util::Status::NotFound("update: unknown " + CandidateRef(id));
     }
     MUDB_ASSIGN_OR_RETURN(
         MeasureRequest resolved,
-        ResolveRequest(std::move(request), "candidate " + std::to_string(id)));
+        ResolveRequest(std::move(request), CandidateRef(id)));
     staged_updates.emplace_back(id, std::move(resolved));
   }
   std::vector<MeasureRequest> staged_inserts;
@@ -208,7 +209,7 @@ util::Status RankingSession::ApplyDelta(RankingDelta&& delta,
     MUDB_ASSIGN_OR_RETURN(
         MeasureRequest resolved,
         ResolveRequest(std::move(delta.inserts[j]),
-                       "candidate " + std::to_string(next_id_ + j)));
+                       CandidateRef(next_id_ + j)));
     staged_inserts.push_back(std::move(resolved));
   }
 

@@ -1,0 +1,32 @@
+#include "src/service/shard_transport.h"
+
+#include <chrono>
+#include <thread>
+
+namespace mudb::service {
+
+util::StatusOr<measure::MeasureResult> InProcessShardTransport::Call(
+    int shard, const MeasureRequest& request) {
+  MUDB_CHECK(shard >= 0 && shard < num_shards());
+  // Copy: the router retries from the original request, and the worker's
+  // Submit takes ownership.
+  MeasureService::Ticket ticket =
+      shards_[static_cast<size_t>(shard)]->Submit(request);
+  return MeasureService::Wait(ticket);
+}
+
+util::StatusOr<measure::MeasureResult> FaultInjectingTransport::Call(
+    int shard, const MeasureRequest& request) {
+  FaultInjector::Decision decision = injector_->Decide(shard);
+  if (decision.latency_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(decision.latency_ms));
+  }
+  if (decision.fail) {
+    return util::Status::Unavailable("injected transient fault")
+        .WithShard(shard);
+  }
+  return wrapped_->Call(shard, request);
+}
+
+}  // namespace mudb::service

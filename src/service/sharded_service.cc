@@ -1,0 +1,299 @@
+#include "src/service/sharded_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "src/service/request_key.h"
+#include "src/service/service_errors.h"
+#include "src/translate/ground.h"
+#include "src/util/timer.h"
+
+namespace mudb::service {
+
+namespace {
+
+int ResolveRouterThreads(int requested, int num_shards) {
+  if (requested >= 1) return requested;
+  return std::clamp(2 * num_shards, 1, 16);
+}
+
+}  // namespace
+
+ShardedMeasureService::ShardedMeasureService(
+    const ShardedServiceOptions& options, ShardTransport* transport)
+    : options_(options) {
+  MUDB_CHECK(options_.num_shards >= 1);
+  MUDB_CHECK(options_.retry.max_attempts >= 1);
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  std::vector<MeasureService*> shard_ptrs;
+  for (int s = 0; s < options_.num_shards; ++s) {
+    ServiceOptions shard_options = options_.shard_options;
+    shard_options.shard_id = s;
+    shards_.push_back(std::make_unique<MeasureService>(shard_options));
+    shard_ptrs.push_back(shards_.back().get());
+  }
+  per_shard_requests_ =
+      std::make_unique<std::atomic<int64_t>[]>(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) per_shard_requests_[s] = 0;
+
+  if (transport != nullptr) {
+    MUDB_CHECK(transport->num_shards() == options_.num_shards);
+    transport_ = transport;
+  } else {
+    in_process_ = std::make_unique<InProcessShardTransport>(shard_ptrs);
+    transport_ = in_process_.get();
+    if (options_.faults.has_value()) {
+      injector_ = std::make_unique<FaultInjector>(options_.num_shards,
+                                                  *options_.faults);
+      faulty_ = std::make_unique<FaultInjectingTransport>(in_process_.get(),
+                                                          injector_.get());
+      transport_ = faulty_.get();
+    }
+  }
+
+  const int workers =
+      ResolveRouterThreads(options_.router_threads, options_.num_shards);
+  routers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    routers_.emplace_back([this] { RouterLoop(); });
+  }
+}
+
+ShardedMeasureService::~ShardedMeasureService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : routers_) t.join();
+}
+
+ShardedMeasureService::Ticket ShardedMeasureService::Submit(
+    MeasureRequest request) {
+  util::Deadline deadline = options_.default_deadline_ms > 0
+                                ? util::Deadline::After(
+                                      options_.default_deadline_ms)
+                                : util::Deadline::Infinite();
+  return Submit(std::move(request), deadline);
+}
+
+ShardedMeasureService::Ticket ShardedMeasureService::Submit(
+    MeasureRequest request, util::Deadline deadline) {
+  Job job;
+  job.request = std::move(request);
+  job.deadline = deadline;
+  Ticket ticket = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+  return ticket;
+}
+
+void ShardedMeasureService::RouterLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain before exiting: every submitted promise is fulfilled.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job.promise.set_value(Execute(job));
+  }
+}
+
+int ShardedMeasureService::ShardFor(
+    const convex::CanonicalBodyKey& signature) const {
+  // fp.hi is avalanche-mixed; mod keeps every shard populated for any N.
+  return static_cast<int>(signature.fp.hi %
+                          static_cast<uint64_t>(shards_.size()));
+}
+
+util::StatusOr<ShardedResponse> ShardedMeasureService::Execute(Job& job) {
+  total_requests_.fetch_add(1, std::memory_order_relaxed);
+  MeasureRequest& request = job.request;
+
+  // Permanent-error gate, identical to the unsharded path: a malformed
+  // request fails here once, with no retry (retrying identical content
+  // cannot help) and no shard attribution (no shard was involved).
+  util::Status valid = measure::ValidateMeasureOptions(request.options);
+  if (!valid.ok()) {
+    total_failures_.fetch_add(1, std::memory_order_relaxed);
+    return valid;
+  }
+
+  // Ground the query form centrally so routing sees content: shard workers
+  // always receive formula-form requests.
+  if (!request.formula.has_value()) {
+    if (request.query == nullptr || request.db == nullptr) {
+      total_failures_.fetch_add(1, std::memory_order_relaxed);
+      return util::Status::InvalidArgument(
+          "MeasureRequest needs a formula or a (query, db, candidate)");
+    }
+    translate::GroundOptions gopts;
+    gopts.max_atoms = request.options.max_ground_atoms;
+    util::StatusOr<translate::GroundResult> ground = translate::GroundQuery(
+        *request.query, *request.db, request.candidate, gopts);
+    if (!ground.ok()) {
+      total_failures_.fetch_add(1, std::memory_order_relaxed);
+      return ground.status();
+    }
+    request.formula = std::move(ground.value().formula);
+    request.query = nullptr;
+    request.db = nullptr;
+    request.candidate = model::Tuple{};
+  }
+
+  const convex::CanonicalBodyKey signature =
+      RequestSignature(*request.formula, request.options);
+  const int shard = ShardFor(signature);
+  per_shard_requests_[static_cast<size_t>(shard)].fetch_add(
+      1, std::memory_order_relaxed);
+
+  // The jitter stream is a pure function of the request seed: the delay
+  // schedule of a request is reproducible, run to run.
+  util::Rng jitter = util::BackoffRng(request.options.seed);
+  util::Status last_error;
+  for (int attempt = 1; attempt <= options_.retry.max_attempts; ++attempt) {
+    if (job.deadline.expired()) {
+      total_deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      total_failures_.fetch_add(1, std::memory_order_relaxed);
+      return AnnotateRequestError(
+          util::Status::DeadlineExceeded("deadline expired before delivery"),
+          signature, shard, attempt - 1);
+    }
+    total_attempts_.fetch_add(1, std::memory_order_relaxed);
+    if (attempt > 1) total_retries_.fetch_add(1, std::memory_order_relaxed);
+
+    util::StatusOr<measure::MeasureResult> result =
+        transport_->Call(shard, request);
+    if (result.ok()) {
+      ShardedResponse response;
+      response.result = *result;
+      response.shard = shard;
+      response.attempts = attempt;
+      return response;
+    }
+    if (!result.status().IsRetryable()) {
+      // Permanent: the shard already attributed its own message (its
+      // shard_id is set); only the structured attempt count is added here.
+      total_failures_.fetch_add(1, std::memory_order_relaxed);
+      util::Status status = result.status();
+      status.WithAttempts(attempt);
+      if (status.context().shard_id < 0) status.WithShard(shard);
+      return status;
+    }
+    total_transient_failures_.fetch_add(1, std::memory_order_relaxed);
+    last_error = result.status();
+    if (attempt < options_.retry.max_attempts) {
+      double delay_ms = options_.retry.backoff.DelayMs(attempt - 1, jitter);
+      if (!job.deadline.infinite()) {
+        delay_ms = std::min(delay_ms,
+                            std::max(0.0, job.deadline.remaining_ms()));
+      }
+      if (delay_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay_ms));
+      }
+    }
+  }
+  return Degrade(request, signature, shard, options_.retry.max_attempts,
+                 std::move(last_error), job.deadline);
+}
+
+util::StatusOr<ShardedResponse> ShardedMeasureService::Degrade(
+    const MeasureRequest& request, const convex::CanonicalBodyKey& signature,
+    int shard, int attempts, util::Status last_error,
+    const util::Deadline& deadline) {
+  if (options_.degrade != DegradeMode::kNone && !deadline.expired()) {
+    // Local re-execution never consults the failing transport. It computes
+    // exactly what the unsharded service would: ComputeNu is a pure
+    // function of (formula, options), so the degraded result stays
+    // bit-deterministic — at the original ε (kLocalRecompute) or at the
+    // stamped coarser ε (kCoarsenEpsilon).
+    measure::MeasureOptions opts = request.options;
+    double degraded_epsilon = 0.0;
+    if (options_.degrade == DegradeMode::kCoarsenEpsilon) {
+      degraded_epsilon = std::min(1.0, opts.epsilon * options_.coarsen_factor);
+      opts.epsilon = degraded_epsilon;
+    }
+    util::StatusOr<measure::MeasureResult> local =
+        measure::ComputeNu(*request.formula, opts);
+    if (local.ok()) {
+      total_degraded_.fetch_add(1, std::memory_order_relaxed);
+      ShardedResponse response;
+      response.result = *local;
+      response.shard = -1;
+      response.attempts = attempts;
+      response.degraded = true;
+      response.degraded_epsilon = degraded_epsilon;
+      return response;
+    }
+    total_failures_.fetch_add(1, std::memory_order_relaxed);
+    return AnnotateRequestError(local.status(), signature, -1, attempts);
+  }
+  total_failures_.fetch_add(1, std::memory_order_relaxed);
+  return AnnotateRequestError(std::move(last_error), signature, shard,
+                              attempts);
+}
+
+ShardedMeasureService::BatchOutcome ShardedMeasureService::RunBatch(
+    std::vector<MeasureRequest> requests) {
+  util::WallTimer timer;
+  ShardedStats before = stats();
+  std::vector<Ticket> tickets;
+  tickets.reserve(requests.size());
+  for (MeasureRequest& request : requests) {
+    tickets.push_back(Submit(std::move(request)));
+  }
+  BatchOutcome outcome;
+  outcome.results.reserve(tickets.size());
+  for (Ticket& ticket : tickets) {
+    outcome.results.push_back(ticket.get());
+  }
+  ShardedStats after = stats();
+  outcome.stats.requests = after.requests - before.requests;
+  outcome.stats.attempts = after.attempts - before.attempts;
+  outcome.stats.retries = after.retries - before.retries;
+  outcome.stats.transient_failures =
+      after.transient_failures - before.transient_failures;
+  outcome.stats.degraded = after.degraded - before.degraded;
+  outcome.stats.failures = after.failures - before.failures;
+  outcome.stats.deadline_expired =
+      after.deadline_expired - before.deadline_expired;
+  outcome.stats.per_shard_requests.resize(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    outcome.stats.per_shard_requests[s] =
+        after.per_shard_requests[s] - before.per_shard_requests[s];
+  }
+  outcome.stats.wall_ms = timer.ElapsedMillis();
+  return outcome;
+}
+
+ShardedStats ShardedMeasureService::stats() const {
+  ShardedStats s;
+  s.requests = total_requests_.load(std::memory_order_relaxed);
+  s.attempts = total_attempts_.load(std::memory_order_relaxed);
+  s.retries = total_retries_.load(std::memory_order_relaxed);
+  s.transient_failures =
+      total_transient_failures_.load(std::memory_order_relaxed);
+  s.degraded = total_degraded_.load(std::memory_order_relaxed);
+  s.failures = total_failures_.load(std::memory_order_relaxed);
+  s.deadline_expired =
+      total_deadline_expired_.load(std::memory_order_relaxed);
+  s.per_shard_requests.resize(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    s.per_shard_requests[i] =
+        per_shard_requests_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+}  // namespace mudb::service

@@ -1,0 +1,251 @@
+// ShardedMeasureService: fault-tolerant sharded serving, in-process.
+//
+// One MeasureService is single-node. The caches underneath it are already
+// content-addressed (128-bit canonical/raw keys) — the hard part of
+// sharding — so this layer adds the *protocol*: a router that partitions
+// requests across N shard workers by canonical request signature, a shard
+// transport seam with deterministic fault injection (shard_transport.h,
+// fault_injector.h), a retry policy (capped exponential backoff with
+// deterministic jitter from the request's RNG substream, util/backoff.h),
+// per-request deadlines (util/deadline.h), and graceful degradation when a
+// shard keeps failing. Everything runs in-process on purpose: the protocol
+// is proven correct and bit-deterministic here before any real networking
+// exists, and a network transport later slots into the same seam.
+//
+// Routing: shard = signature mod N, where the signature is the canonical
+// content key of (grounded formula, options) from request_key.h. Routing by
+// content (never by arrival order or a round-robin counter) means a
+// repeated request always lands on the shard that already memoized it, and
+// the assignment is a pure function of the request.
+//
+// Failure handling, layered by the retryable-vs-permanent taxonomy
+// (util/status.h):
+//   * permanent errors (invalid options, malformed request, infeasible
+//     engine input) return immediately — retrying identical content cannot
+//     help;
+//   * transient errors (kUnavailable from the transport, kResourceExhausted,
+//     kAborted) are retried up to RetryPolicy::max_attempts with capped
+//     exponential backoff; the jitter stream is a pure function of the
+//     request seed, so a request's delay schedule is reproducible;
+//   * the per-request deadline is checked between attempts; expiry returns
+//     kDeadlineExceeded (never a hang — Wait always completes);
+//   * when retries are exhausted and the deadline still has budget, the
+//     router degrades instead of failing: re-execute locally
+//     (kLocalRecompute) or serve a coarser-ε interval (kCoarsenEpsilon,
+//     ε scaled by `coarsen_factor`). Degraded responses are stamped
+//     (ShardedResponse::degraded / degraded_epsilon) so callers can tell.
+//
+// Determinism contract (the fabric corollary): every request that
+// ultimately succeeds returns a result that is a bitwise-pure function of
+// its cache key — independent of which shard computed it, how many retries
+// occurred, and what fault schedule ran. Non-degraded and kLocalRecompute
+// responses are bit-identical to the unsharded MeasureService; a
+// kCoarsenEpsilon response is bit-identical to the unsharded service
+// evaluating the same request at the stamped coarser ε. The chaos test
+// (sharded_service_test.cc) hard-asserts this across randomized fault
+// schedules × thread counts × shard counts.
+//
+// Error attribution: terminal failures carry the request-signature prefix,
+// the shard id, and the attempt count — in the message and in the
+// structured util::StatusContext payload (service_errors.h).
+
+#ifndef MUDB_SRC_SERVICE_SHARDED_SERVICE_H_
+#define MUDB_SRC_SERVICE_SHARDED_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "src/convex/canonical.h"
+#include "src/measure/measure.h"
+#include "src/service/fault_injector.h"
+#include "src/service/measure_service.h"
+#include "src/service/shard_transport.h"
+#include "src/util/backoff.h"
+#include "src/util/deadline.h"
+#include "src/util/status.h"
+
+namespace mudb::service {
+
+/// Retry knobs for transient delivery failures.
+struct RetryPolicy {
+  /// Total delivery attempts per request (first try included). 1 = never
+  /// retry.
+  int max_attempts = 4;
+  /// Backoff between attempts (capped exponential, deterministic jitter).
+  util::BackoffPolicy backoff;
+};
+
+/// What the router serves when a shard keeps failing but the deadline still
+/// has budget.
+enum class DegradeMode {
+  /// No fallback: exhausted retries surface the last transient error.
+  kNone,
+  /// Re-execute the request locally in the router, full precision. Bitwise
+  /// the unsharded result; costs router CPU (no shard cache reuse).
+  kLocalRecompute,
+  /// Re-execute locally at ε · coarsen_factor: a cheaper, wider interval —
+  /// the "serve a coarser answer instead of queueing" overload story. The
+  /// served ε is stamped in ShardedResponse::degraded_epsilon.
+  kCoarsenEpsilon,
+};
+
+struct ShardedServiceOptions {
+  /// Shard worker count (>= 1).
+  int num_shards = 4;
+  /// Options for every shard worker (thread count, cache sizing). The
+  /// router overrides shard_id per worker; results are bit-identical for
+  /// any num_threads by the underlying contract.
+  ServiceOptions shard_options;
+  /// Router worker threads driving shard calls (0 = 2 · num_shards,
+  /// clamped to [1, 16]). Bounds in-flight requests; never affects result
+  /// bits.
+  int router_threads = 0;
+  RetryPolicy retry;
+  /// Default per-request deadline in ms (0 = none). Submit overloads can
+  /// set a per-request deadline explicitly.
+  double default_deadline_ms = 0.0;
+  DegradeMode degrade = DegradeMode::kLocalRecompute;
+  /// ε multiplier for DegradeMode::kCoarsenEpsilon (> 1; the result is
+  /// clamped to ε <= 1).
+  double coarsen_factor = 2.0;
+  /// When set, every delivery goes through a FaultInjectingTransport with
+  /// this schedule (chaos testing / benches). Unset = clean transport.
+  std::optional<FaultInjectorOptions> faults;
+};
+
+/// One routed result plus its delivery metadata.
+struct ShardedResponse {
+  measure::MeasureResult result;
+  /// Shard that produced the result; -1 when degradation computed it
+  /// locally in the router.
+  int shard = -1;
+  /// Delivery attempts consumed (1 = first try succeeded).
+  int attempts = 1;
+  /// True when the response was served by degradation after retries were
+  /// exhausted; `result` is then the local (possibly coarser-ε) evaluation.
+  bool degraded = false;
+  /// The coarsened ε served under kCoarsenEpsilon (0 otherwise).
+  double degraded_epsilon = 0.0;
+};
+
+/// Router accounting. Snapshot via stats(); all counters are lifetime
+/// totals (RunBatch reports the per-batch delta).
+struct ShardedStats {
+  int64_t requests = 0;
+  /// Transport calls issued (>= requests; retries add calls).
+  int64_t attempts = 0;
+  /// Attempts beyond each request's first.
+  int64_t retries = 0;
+  /// Retryable failures observed from the transport.
+  int64_t transient_failures = 0;
+  /// Responses served via degradation.
+  int64_t degraded = 0;
+  /// Terminal non-OK responses.
+  int64_t failures = 0;
+  /// Requests that terminated with kDeadlineExceeded.
+  int64_t deadline_expired = 0;
+  /// Requests routed to each shard (index = shard id).
+  std::vector<int64_t> per_shard_requests;
+  /// Wall time of the batch (RunBatch only).
+  double wall_ms = 0.0;
+};
+
+class ShardedMeasureService {
+ public:
+  using Ticket = std::future<util::StatusOr<ShardedResponse>>;
+
+  /// Builds num_shards in-process MeasureService workers and the transport
+  /// stack (fault-injecting when options.faults is set). `transport`, when
+  /// given, replaces the built-in stack (testing seam; borrowed, must
+  /// outlive the service, and its num_shards() must match).
+  explicit ShardedMeasureService(const ShardedServiceOptions& options = {},
+                                 ShardTransport* transport = nullptr);
+  /// Drains outstanding requests, then joins the router workers.
+  ~ShardedMeasureService();
+
+  ShardedMeasureService(const ShardedMeasureService&) = delete;
+  ShardedMeasureService& operator=(const ShardedMeasureService&) = delete;
+
+  /// Enqueues one request under the default deadline; returns immediately.
+  /// Thread-safe.
+  Ticket Submit(MeasureRequest request);
+  /// Same, with an explicit per-request deadline.
+  Ticket Submit(MeasureRequest request, util::Deadline deadline);
+
+  /// Blocks until `ticket`'s request completes. Never hangs on expiry: a
+  /// request whose deadline passes resolves to kDeadlineExceeded.
+  static util::StatusOr<ShardedResponse> Wait(Ticket& ticket) {
+    return ticket.get();
+  }
+
+  /// Submits every request, waits for all, reports the stats delta.
+  /// Results are positionally aligned with `requests`.
+  struct BatchOutcome {
+    std::vector<util::StatusOr<ShardedResponse>> results;
+    ShardedStats stats;
+  };
+  BatchOutcome RunBatch(std::vector<MeasureRequest> requests);
+
+  /// The shard a signature routes to: fp.hi mod num_shards (pure function
+  /// of the content key; exposed for tests and benches).
+  int ShardFor(const convex::CanonicalBodyKey& signature) const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// The shard workers (cache introspection in tests; do not submit to
+  /// them directly while the router is running).
+  MeasureService& shard(int i) { return *shards_[static_cast<size_t>(i)]; }
+  /// The owned injector when options.faults was set (nullptr otherwise);
+  /// tests use it for targeted FailNext / SetDown control.
+  FaultInjector* fault_injector() { return injector_.get(); }
+
+  ShardedStats stats() const;
+
+ private:
+  struct Job {
+    MeasureRequest request;
+    util::Deadline deadline;
+    std::promise<util::StatusOr<ShardedResponse>> promise;
+  };
+
+  void RouterLoop();
+  util::StatusOr<ShardedResponse> Execute(Job& job);
+  util::StatusOr<ShardedResponse> Degrade(
+      const MeasureRequest& request,
+      const convex::CanonicalBodyKey& signature, int shard, int attempts,
+      util::Status last_error, const util::Deadline& deadline);
+
+  ShardedServiceOptions options_;
+  std::vector<std::unique_ptr<MeasureService>> shards_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<InProcessShardTransport> in_process_;
+  std::unique_ptr<FaultInjectingTransport> faulty_;
+  ShardTransport* transport_;  // the top of the stack (or the external one)
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<Job> queue_;  // guarded by mu_
+  bool stop_ = false;      // guarded by mu_
+
+  std::atomic<int64_t> total_requests_{0};
+  std::atomic<int64_t> total_attempts_{0};
+  std::atomic<int64_t> total_retries_{0};
+  std::atomic<int64_t> total_transient_failures_{0};
+  std::atomic<int64_t> total_degraded_{0};
+  std::atomic<int64_t> total_failures_{0};
+  std::atomic<int64_t> total_deadline_expired_{0};
+  std::unique_ptr<std::atomic<int64_t>[]> per_shard_requests_;
+
+  std::vector<std::thread> routers_;  // last: started after everything above
+};
+
+}  // namespace mudb::service
+
+#endif  // MUDB_SRC_SERVICE_SHARDED_SERVICE_H_

@@ -1,0 +1,64 @@
+// Capped exponential backoff with deterministic jitter.
+//
+// The sharded router sleeps between delivery attempts so a transiently
+// overloaded shard is not hammered in a tight loop. The jitter that
+// de-synchronizes competing retriers is drawn from an Rng substream derived
+// from the *request* (its seed), never from wall-clock or a global engine —
+// so the full delay schedule of a request is a pure function of
+// (request seed, attempt index), reproducible in tests and irrelevant to
+// result bits (delays change timing only, and results are pure functions of
+// their cache keys).
+
+#ifndef MUDB_SRC_UTIL_BACKOFF_H_
+#define MUDB_SRC_UTIL_BACKOFF_H_
+
+#include <algorithm>
+
+#include "src/util/rng.h"
+
+namespace mudb::util {
+
+/// Delay schedule knobs. Defaults are sized for in-process shard hops
+/// (sub-millisecond), not network RPCs — tune up for real transports.
+struct BackoffPolicy {
+  /// Delay before the first retry (attempt index 0).
+  double initial_ms = 0.05;
+  /// Growth factor per attempt (>= 1).
+  double multiplier = 2.0;
+  /// Upper bound applied before jitter.
+  double max_ms = 2.0;
+  /// Fraction of the delay randomized: the delay is scaled by a factor
+  /// drawn uniformly from [1 - jitter, 1]. 0 disables jitter; must lie in
+  /// [0, 1].
+  double jitter = 0.5;
+
+  /// The delay (ms) before retry number `attempt` (0-based), jittered by
+  /// the next draw from `rng`. Deterministic given the rng stream: callers
+  /// derive `rng` from the request seed (see BackoffRng below) so the
+  /// schedule is a pure function of the request.
+  double DelayMs(int attempt, Rng& rng) const {
+    double delay = initial_ms;
+    for (int i = 0; i < attempt; ++i) {
+      delay *= multiplier;
+      if (delay >= max_ms) break;
+    }
+    delay = std::min(delay, max_ms);
+    if (jitter > 0) delay *= 1.0 - jitter * rng.Uniform01();
+    return delay;
+  }
+};
+
+/// The dedicated substream tag for backoff jitter. Far outside the small
+/// positional stream indices the estimators use, so a request's jitter
+/// stream never collides with its sampling substreams.
+inline constexpr uint64_t kBackoffStreamTag = 0xBACC'0FF0'0000'0001ull;
+
+/// The jitter stream of a request with RNG seed `seed`: a pure function of
+/// the seed, independent of the estimator's own substream tree.
+inline Rng BackoffRng(uint64_t seed) {
+  return Rng(seed).Split(kBackoffStreamTag);
+}
+
+}  // namespace mudb::util
+
+#endif  // MUDB_SRC_UTIL_BACKOFF_H_

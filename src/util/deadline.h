@@ -1,0 +1,56 @@
+// Per-request deadlines for the serving layer.
+//
+// A Deadline is an absolute point on the steady clock (never the wall
+// clock: a host time adjustment must not expire in-flight requests). The
+// sharded router checks it between delivery attempts and converts expiry
+// into Status::DeadlineExceeded — in-process transports always complete, so
+// the deadline bounds *retrying*, not a single computation.
+
+#ifndef MUDB_SRC_UTIL_DEADLINE_H_
+#define MUDB_SRC_UTIL_DEADLINE_H_
+
+#include <chrono>
+#include <limits>
+
+namespace mudb::util {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Default-constructed: never expires.
+  Deadline() = default;
+
+  /// Expires `ms` milliseconds from now. Nonpositive values produce an
+  /// already-expired deadline (useful for "fail fast" probes and tests).
+  static Deadline After(double ms) {
+    Deadline d;
+    d.infinite_ = false;
+    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(ms));
+    return d;
+  }
+
+  /// The never-expiring deadline (same as default construction).
+  static Deadline Infinite() { return Deadline(); }
+
+  bool infinite() const { return infinite_; }
+
+  bool expired() const { return !infinite_ && Clock::now() >= at_; }
+
+  /// Milliseconds until expiry; negative once expired, +infinity for the
+  /// infinite deadline.
+  double remaining_ms() const {
+    if (infinite_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(at_ - Clock::now())
+        .count();
+  }
+
+ private:
+  bool infinite_ = true;
+  Clock::time_point at_{};
+};
+
+}  // namespace mudb::util
+
+#endif  // MUDB_SRC_UTIL_DEADLINE_H_
