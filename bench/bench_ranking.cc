@@ -20,7 +20,8 @@
 // fingerprint), except the *_steps rows, where it is the step count, and
 // the tier rows, where it is that tier's request count.
 //
-// Flags: --json=<path>, --quick (one round instead of three).
+// Flags: --json=<path>, --quick (one round instead of three),
+// --trace=<path>, --metrics=<path> (bench_obs.h).
 
 #include <algorithm>
 #include <cmath>
@@ -31,6 +32,7 @@
 #include <vector>
 
 #include "bench/bench_json.h"
+#include "bench/bench_obs.h"
 #include "src/measure/measure.h"
 #include "src/service/measure_service.h"
 #include "src/service/ranking_service.h"
@@ -152,6 +154,7 @@ LegResult RunAdaptive() {
 
 int main(int argc, char** argv) {
   const std::string json_path = bench::JsonFlagPath(argc, argv);
+  const bench::ObsFlags obs_flags = bench::ParseObsFlags(argc, argv);
   const bool quick = bench::QuickFlag(argc, argv);
   const int rounds = quick ? 1 : 3;
 
@@ -251,5 +254,6 @@ int main(int argc, char** argv) {
               static_cast<double>(adaptive_last.tier_requests[t])});
   }
   if (!json.WriteTo(json_path)) return 1;
+  if (!bench::WriteObsOutputs(obs_flags)) return 1;
   return 0;
 }

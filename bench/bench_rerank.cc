@@ -25,7 +25,8 @@
 // fingerprint, except the *_steps rows (step count), the *_ratio rows
 // (rerank steps / cold steps), and the *_warm rows (memo hits).
 //
-// Flags: --json=<path>, --quick (one round instead of three).
+// Flags: --json=<path>, --quick (one round instead of three),
+// --trace=<path>, --metrics=<path> (bench_obs.h).
 
 #include <algorithm>
 #include <cmath>
@@ -35,6 +36,7 @@
 #include <vector>
 
 #include "bench/bench_json.h"
+#include "bench/bench_obs.h"
 #include "src/measure/measure.h"
 #include "src/service/measure_service.h"
 #include "src/service/ranking_service.h"
@@ -160,6 +162,7 @@ struct Leg {
 
 int main(int argc, char** argv) {
   const std::string json_path = bench::JsonFlagPath(argc, argv);
+  const bench::ObsFlags obs_flags = bench::ParseObsFlags(argc, argv);
   const bool quick = bench::QuickFlag(argc, argv);
   const int rounds = quick ? 1 : 3;
 
@@ -302,5 +305,6 @@ int main(int argc, char** argv) {
   json.Add({"rerank_top_warm", 1, 0.0, 0.0,
             static_cast<double>(top_leg.warm_hits)});
   if (!json.WriteTo(json_path)) return 1;
+  if (!bench::WriteObsOutputs(obs_flags)) return 1;
   return 0;
 }

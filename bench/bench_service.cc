@@ -19,7 +19,16 @@
 // fingerprint) except for the *_hit_rate rows, where it is the cache hit
 // rate of that leg.
 //
-// Flags: --json=<path>, --quick (one round, CI-sized).
+// The bench also locks in the tracing contract (ISSUE: observability must
+// be free and invisible): a fourth leg runs the same batch with span
+// recording enabled and hard-asserts bit-identity against the untraced
+// legs, and a microbenchmark-derived overhead bound — per-span cost ×
+// spans actually recorded — must stay within 2% of the untraced batch
+// wall time (derived, not wall A/B, so host timing noise cannot flake it;
+// the wall ratio is still printed for reference).
+//
+// Flags: --json=<path>, --quick (one round, CI-sized), --trace=<path>,
+// --metrics=<path> (bench_obs.h).
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +36,7 @@
 #include <vector>
 
 #include "bench/bench_json.h"
+#include "bench/bench_obs.h"
 #include "src/measure/measure.h"
 #include "src/service/measure_service.h"
 #include "src/util/timer.h"
@@ -137,10 +147,31 @@ LegResult RunService(service::MeasureService& svc) {
   return leg;
 }
 
+// Per-span cost with recording enabled, measured directly: construct /
+// destroy plus two annotations — the instrumentation's worst case. Probe
+// spans are cleared afterwards, so call this before any real work records.
+double MeasureSpanCostMs() {
+  const bool was_on = obs::TracingEnabled();
+  if (!was_on) obs::EnableTracing();
+  constexpr int kProbe = 50000;
+  util::WallTimer timer;
+  for (int i = 0; i < kProbe; ++i) {
+    obs::Span span("bench.overhead_probe");
+    span.Annotate("a", 1.0);
+    span.Annotate("b", "x");
+  }
+  double per_span_ms = timer.ElapsedMillis() / kProbe;
+  if (!was_on) obs::DisableTracing();
+  obs::ClearTraces();
+  return per_span_ms;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string json_path = bench::JsonFlagPath(argc, argv);
+  const bench::ObsFlags obs_flags = bench::ParseObsFlags(argc, argv);
+  const double per_span_ms = MeasureSpanCostMs();
   const bool quick = bench::QuickFlag(argc, argv);
   const int rounds = quick ? 1 : 3;
 
@@ -174,6 +205,37 @@ int main(int argc, char** argv) {
   seq_ms /= rounds;
   svc_ms /= rounds;
   rep_ms /= rounds;
+
+  // Tracing contract leg: the same batch with span recording on must be
+  // bit-identical to the untraced legs, and the derived overhead (per-span
+  // cost × spans recorded) must fit the 2% budget.
+  const bool tracing_already_on = obs::TracingEnabled();
+  if (!tracing_already_on) obs::EnableTracing();
+  const size_t spans_before = obs::CollectSpans().size();
+  service::MeasureService traced_svc;  // fresh caches, like each round
+  LegResult traced = RunService(traced_svc);
+  const size_t spans_recorded = obs::CollectSpans().size() - spans_before;
+  if (!tracing_already_on) obs::DisableTracing();
+  if (traced.value_sum != seq_sum) {
+    std::fprintf(stderr,
+                 "FATAL: traced batch diverges from untraced "
+                 "(untraced %.17g, traced %.17g)\n",
+                 seq_sum, traced.value_sum);
+    return 1;
+  }
+  if (spans_recorded == 0) {
+    std::fprintf(stderr, "FATAL: traced batch recorded no spans\n");
+    return 1;
+  }
+  const double overhead_ms = per_span_ms * static_cast<double>(spans_recorded);
+  const double budget_ms = 0.02 * svc_ms;
+  if (overhead_ms > budget_ms) {
+    std::fprintf(stderr,
+                 "FATAL: tracing overhead %.3f ms exceeds 2%% budget %.3f ms "
+                 "(%zu spans at %.0f ns each)\n",
+                 overhead_ms, budget_ms, spans_recorded, per_span_ms * 1e6);
+    return 1;
+  }
   double svc_hit_rate = svc_hits / rounds;
   double rep_hit_rate = rep_hits / rounds;
   double svc_body_hit_rate = svc_body_hits / rounds;
@@ -191,6 +253,11 @@ int main(int argc, char** argv) {
       "body-cache hit rate (first batch): %.2f\n"
       "service speedup over sequential: %.2fx (repeat: %.2fx)\n",
       svc_body_hit_rate, seq_ms / svc_ms, seq_ms / rep_ms);
+  std::printf(
+      "tracing: %zu spans/batch, %.0f ns/span, derived overhead %.3f ms "
+      "(budget %.3f ms, traced/untraced wall %.2fx), bit-identical: yes\n",
+      spans_recorded, per_span_ms * 1e6, overhead_ms, budget_ms,
+      traced.wall_ms / svc_ms);
 
   bench::BenchJson json("service");
   json.Add({"sequential_batch64", 1, seq_ms, req_per_sec(seq_ms), seq_sum});
@@ -200,6 +267,11 @@ int main(int argc, char** argv) {
   json.Add({"service_repeat64_hit_rate", 1, rep_ms, 0.0, rep_hit_rate});
   json.Add({"service_batch64_body_hit_rate", 1, svc_ms, 0.0,
             svc_body_hit_rate});
+  json.Add({"service_traced_batch64", 1, traced.wall_ms,
+            req_per_sec(traced.wall_ms), traced.value_sum});
+  json.Add({"service_tracing_overhead_ms", 1, traced.wall_ms, 0.0,
+            overhead_ms});
   if (!json.WriteTo(json_path)) return 1;
+  if (!bench::WriteObsOutputs(obs_flags)) return 1;
   return 0;
 }

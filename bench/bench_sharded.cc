@@ -23,7 +23,9 @@
 // estimate is the Σ of measure values (a determinism fingerprint) except
 // the *_retries / *_ratio rows, which carry that diagnostic instead.
 //
-// Flags: --json=<path>, --quick (one round, CI-sized).
+// Flags: --json=<path>, --quick (one round, CI-sized), --trace=<path>,
+// --metrics=<path> (bench_obs.h — a 20%-fault trace shows the retries,
+// backoff delays, and degradation decisions with their parentage).
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +33,7 @@
 #include <vector>
 
 #include "bench/bench_json.h"
+#include "bench/bench_obs.h"
 #include "src/measure/measure.h"
 #include "src/service/measure_service.h"
 #include "src/service/sharded_service.h"
@@ -166,6 +169,7 @@ double Sum(const std::vector<double>& v) {
 
 int main(int argc, char** argv) {
   const std::string json_path = bench::JsonFlagPath(argc, argv);
+  const bench::ObsFlags obs_flags = bench::ParseObsFlags(argc, argv);
   const bool quick = bench::QuickFlag(argc, argv);
   const int rounds = quick ? 1 : 3;
 
@@ -241,5 +245,6 @@ int main(int argc, char** argv) {
   json.Add({"sharded_fault20_over_cold_ratio", kShards, fault_ms, 0.0,
             fault_ratio});
   if (!json.WriteTo(json_path)) return 1;
+  if (!bench::WriteObsOutputs(obs_flags)) return 1;
   return 0;
 }

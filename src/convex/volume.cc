@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/convex/batch_sampler.h"
+#include "src/obs/trace.h"
 
 namespace mudb::convex {
 
@@ -67,6 +68,13 @@ VolumeEstimate EstimateVolume(const ConvexBody& body, const InnerBall& inner,
   phase_body.AddBall(inner.center, radii[phases]);
   const int anneal_ball = phase_body.num_balls() - 1;
   for (int i = 1; i <= phases; ++i) {
+    // One span per annealing phase (phase-level only — never inside the
+    // chain walks).
+    obs::Span phase_span("volume.anneal_phase");
+    if (phase_span.recording()) {
+      phase_span.Annotate("phase", static_cast<double>(i));
+      phase_span.Annotate("samples", static_cast<double>(per_phase));
+    }
     phase_body.SetBallRadius(anneal_ball, radii[i]);
     double prev_r2 = radii[i - 1] * radii[i - 1];
     util::Rng phase_rng = base.Split(i);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/geom/geometry.h"
+#include "src/obs/trace.h"
 #include "src/util/parallel.h"
 
 namespace mudb::measure {
@@ -72,6 +73,14 @@ util::StatusOr<AfprasResult> Afpras(const constraints::RealFormula& formula,
   int64_t m = options.num_samples > 0
                   ? options.num_samples
                   : AfprasSampleCount(options.epsilon, options.delta);
+
+  // Phase-level span over the whole direction-sampling sweep — never inside
+  // the per-sample loop.
+  obs::Span span("afpras.estimate");
+  if (span.recording()) {
+    span.Annotate("samples", static_cast<double>(m));
+    span.Annotate("dim", static_cast<double>(dim));
+  }
 
   // Directions only matter, so sampling the unit sphere is equivalent to
   // sampling the ball (Lemma 8.3 integrates over directions).

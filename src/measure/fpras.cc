@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/geom/geometry.h"
+#include "src/obs/trace.h"
 #include "src/util/thread_pool.h"
 #include "src/volume/union_volume.h"
 
@@ -72,6 +73,8 @@ util::ThreadPool* EnsurePool(const FprasOptions& options,
 
 util::StatusOr<FprasBodySet> BuildFprasBodies(
     const constraints::RealFormula& formula, const FprasOptions& options) {
+  // Phase-level span: DNF, cone translation, and the inner-ball LPs.
+  obs::Span span("fpras.build_bodies");
   FprasBodySet set;
   if (formula.is_constant()) {
     set.trivial = true;
@@ -150,6 +153,10 @@ util::StatusOr<FprasBodySet> BuildFprasBodies(
     set.bodies.push_back(
         volume::SeededBody{std::move(body), *inners[i], outer_bound});
   }
+  if (span.recording()) {
+    span.Annotate("cones", static_cast<double>(cones.size()));
+    span.Annotate("bodies", static_cast<double>(set.bodies.size()));
+  }
   return set;
 }
 
@@ -176,6 +183,12 @@ util::StatusOr<FprasResult> FprasFromBodies(const FprasBodySet& body_set,
     return result;
   }
 
+  // Phase-level span over the union-volume estimate (the sampling expense).
+  obs::Span span("fpras.union_estimate");
+  if (span.recording()) {
+    span.Annotate("bodies", static_cast<double>(body_set.bodies.size()));
+    span.Annotate("epsilon", options.epsilon);
+  }
   std::optional<util::ThreadPool> local_pool;
   util::ThreadPool* pool = EnsurePool(options, &local_pool);
   volume::UnionVolumeOptions uopts;
@@ -199,6 +212,10 @@ util::StatusOr<FprasResult> FprasFromBodies(const FprasBodySet& body_set,
   result.sampling_steps = uv.steps;
   result.unique_bodies = uv.unique_bodies;
   result.body_cache_hits = uv.body_cache_hits;
+  if (span.recording()) {
+    span.Annotate("sampling_steps", static_cast<double>(uv.steps));
+    span.Annotate("body_cache_hits", static_cast<double>(uv.body_cache_hits));
+  }
   return result;
 }
 

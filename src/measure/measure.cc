@@ -2,6 +2,7 @@
 
 #include "src/measure/nu_exact.h"
 #include "src/measure/oracle.h"
+#include "src/obs/trace.h"
 #include "src/translate/ground.h"
 
 namespace mudb::measure {
@@ -127,6 +128,12 @@ util::Status ValidateMeasureOptions(const MeasureOptions& options) {
 util::StatusOr<MeasureResult> ComputeNu(const RealFormula& formula,
                                         const MeasureOptions& options) {
   MUDB_RETURN_IF_ERROR(ValidateMeasureOptions(options));
+  // Phase-level span over the whole dispatch (shortcut, exact, or sampled).
+  obs::Span span("measure.compute");
+  if (span.recording()) {
+    span.Annotate("method", MethodToString(options.method));
+    span.Annotate("epsilon", options.epsilon);
+  }
   if (formula.kind() == RealFormula::Kind::kTrue) {
     return ExactConstantResult(1.0, options.method);
   }

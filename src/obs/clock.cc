@@ -1,0 +1,34 @@
+#include "src/obs/clock.h"
+
+#include <chrono>
+
+namespace mudb::obs {
+
+namespace {
+
+// The installed fake, or null for the real steady clock. Relaxed atomics:
+// installation happens before the readers under test start (documented
+// contract), so there is no ordering to enforce on the hot path.
+std::atomic<ScopedFakeClock*> g_fake_clock{nullptr};
+
+}  // namespace
+
+int64_t Clock::NowNanos() {
+  if (ScopedFakeClock* fake = g_fake_clock.load(std::memory_order_acquire);
+      fake != nullptr) {
+    return fake->now_nanos();
+  }
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ScopedFakeClock::ScopedFakeClock(int64_t start_nanos) : now_(start_nanos) {
+  g_fake_clock.store(this, std::memory_order_release);
+}
+
+ScopedFakeClock::~ScopedFakeClock() {
+  g_fake_clock.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace mudb::obs

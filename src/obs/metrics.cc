@@ -1,0 +1,254 @@
+#include "src/obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace mudb::obs {
+
+int ThreadStripe() {
+  static std::atomic<unsigned> next{0};
+  thread_local const int stripe = static_cast<int>(
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricStripes);
+  return stripe;
+}
+
+double HistogramBucketUpperBound(int idx) {
+  if (idx <= 0) return std::exp2(kHistogramMinHalfExp * 0.5);
+  const int h = idx - 1 + kHistogramMinHalfExp;
+  return std::exp2((h + 1) * 0.5);
+}
+
+int64_t Counter::Value() const {
+  int64_t v = total_.load(std::memory_order_relaxed);
+  for (const Cell& c : cells_) v += c.v.load(std::memory_order_relaxed);
+  return v;
+}
+
+int64_t Counter::Drain() {
+  int64_t moved = 0;
+  for (Cell& c : cells_) moved += c.v.exchange(0, std::memory_order_relaxed);
+  return total_.fetch_add(moved, std::memory_order_relaxed) + moved;
+}
+
+void Counter::Reset() {
+  for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::Drain() {
+  for (Stripe& s : stripes_) {
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      const int64_t n = s.buckets[i].exchange(0, std::memory_order_relaxed);
+      total_buckets_[i] += n;
+      total_count_ += n;
+    }
+    total_sum_ += s.sum.exchange(0.0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Reset() {
+  for (Stripe& s : stripes_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+  }
+  total_buckets_.fill(0);
+  total_count_ = 0;
+  total_sum_ = 0.0;
+}
+
+double HistogramSnapshot::Quantile(double p) const {
+  if (count <= 0) return 0.0;
+  if (p > 1.0) p = 1.0;
+  // Nearest-rank: the smallest rank r with r >= ceil(p * count).
+  int64_t rank = static_cast<int64_t>(p * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (static_cast<double>(rank) < p * static_cast<double>(count)) ++rank;
+  int64_t seen = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return HistogramBucketUpperBound(i);
+  }
+  return HistogramBucketUpperBound(kHistogramBuckets - 1);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = Kind::kCounter;
+    it->second.counter = std::make_unique<Counter>();
+  }
+  return it->second.kind == Kind::kCounter ? it->second.counter.get()
+                                           : nullptr;
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = Kind::kGauge;
+    it->second.gauge = std::make_unique<Gauge>();
+  }
+  return it->second.kind == Kind::kGauge ? it->second.gauge.get() : nullptr;
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = Kind::kHistogram;
+    it->second.histogram = std::make_unique<Histogram>();
+  }
+  return it->second.kind == Kind::kHistogram ? it->second.histogram.get()
+                                             : nullptr;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        snap.counters.push_back({name, entry.counter->Drain()});
+        break;
+      case Kind::kGauge:
+        snap.gauges.push_back({name, entry.gauge->Value()});
+        break;
+      case Kind::kHistogram: {
+        entry.histogram->Drain();
+        HistogramSnapshot h;
+        h.name = name;
+        h.count = entry.histogram->total_count_;
+        h.sum = entry.histogram->total_sum_;
+        h.buckets = entry.histogram->total_buckets_;
+        snap.histograms.push_back(std::move(h));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        entry.counter->Reset();
+        break;
+      case Kind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case Kind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+namespace {
+
+// Number formatting matches bench_json.h: %.17g round-trips every double,
+// and non-finite values (which JSON cannot carry) become 0.
+void AppendNum(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += '0';
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out;
+  out += "{\n  \"schema_version\": 1,\n  \"counters\": [";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    AppendEscaped(out, counters[i].name);
+    out += ", \"value\": " + std::to_string(counters[i].value) + "}";
+  }
+  out += counters.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"gauges\": [";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    AppendEscaped(out, gauges[i].name);
+    out += ", \"value\": ";
+    AppendNum(out, gauges[i].value);
+    out += "}";
+  }
+  out += gauges.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"histograms\": [";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    AppendEscaped(out, h.name);
+    out += ", \"count\": " + std::to_string(h.count) + ", \"sum\": ";
+    AppendNum(out, h.sum);
+    out += ",\n     \"p50\": ";
+    AppendNum(out, h.Quantile(0.50));
+    out += ", \"p90\": ";
+    AppendNum(out, h.Quantile(0.90));
+    out += ", \"p99\": ";
+    AppendNum(out, h.Quantile(0.99));
+    out += ", \"p999\": ";
+    AppendNum(out, h.Quantile(0.999));
+    // Sparse bucket dump: [half_exponent, count] pairs for non-empty
+    // buckets only (the full array is ~140 wide and mostly zero).
+    out += ",\n     \"buckets\": [";
+    bool first = true;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first) out += ", ";
+      first = false;
+      const int half_exp = b == 0 ? kHistogramMinHalfExp - 1
+                                  : b - 1 + kHistogramMinHalfExp;
+      out += "[" + std::to_string(half_exp) + ", " +
+             std::to_string(h.buckets[b]) + "]";
+    }
+    out += "]}";
+  }
+  out += histograms.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() { return Snapshot().ToJson(); }
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "metrics: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  out << ToJson();
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "metrics: write to %s failed\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mudb::obs

@@ -1,0 +1,262 @@
+#include "src/obs/trace.h"
+
+#ifndef MUDB_OBS_DISABLED
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "src/obs/clock.h"
+
+namespace mudb::obs {
+
+namespace {
+
+/// Cap per thread buffer. At ~200 bytes a span this bounds a runaway
+/// recording to a few tens of MB per thread; excess spans are counted,
+/// never blocked on.
+constexpr size_t kMaxEventsPerThread = 1 << 17;
+
+std::atomic<bool> g_enabled{false};
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<uint64_t> g_next_trace_id{1};
+std::atomic<int64_t> g_dropped{0};
+
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<SpanRecord> spans;  // guarded by mu
+};
+
+// Registry of every thread's buffer. shared_ptr keeps a buffer alive after
+// its thread exits, so CollectSpans never races thread teardown.
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;  // guarded by mu
+};
+
+BufferRegistry& Registry() {
+  static BufferRegistry* r = new BufferRegistry();
+  return *r;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    BufferRegistry& r = Registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+// The ambient context: written only by Span ctor/dtor and ScopedContext
+// on the owning thread.
+thread_local SpanContext t_current;
+
+}  // namespace
+
+void EnableTracing() { g_enabled.store(true, std::memory_order_release); }
+
+void DisableTracing() { g_enabled.store(false, std::memory_order_release); }
+
+bool TracingEnabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void ClearTraces() {
+  BufferRegistry& r = Registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& b : r.buffers) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    b->spans.clear();
+  }
+  g_dropped.store(0, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> CollectSpans() {
+  std::vector<SpanRecord> out;
+  BufferRegistry& r = Registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& b : r.buffers) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    out.insert(out.end(), b->spans.begin(), b->spans.end());
+  }
+  return out;
+}
+
+std::vector<SpanRecord> CollectTrace(uint64_t trace_id) {
+  std::vector<SpanRecord> all = CollectSpans();
+  std::vector<SpanRecord> out;
+  for (auto& s : all) {
+    if (s.trace_id == trace_id) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+int64_t DroppedSpanCount() {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+SpanContext CurrentContext() { return t_current; }
+
+ScopedContext::ScopedContext(const SpanContext& ctx) {
+  if (!ctx.valid()) return;
+  saved_ = t_current;
+  t_current = ctx;
+  adopted_ = true;
+}
+
+ScopedContext::~ScopedContext() {
+  if (adopted_) t_current = saved_;
+}
+
+Span::Span(const char* name) : name_(name) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  recording_ = true;
+  saved_ = t_current;
+  ctx_.trace_id = saved_.valid()
+                      ? saved_.trace_id
+                      : g_next_trace_id.fetch_add(
+                            1, std::memory_order_relaxed);
+  ctx_.span_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  t_current = ctx_;
+  start_nanos_ = Clock::NowNanos();
+}
+
+Span::~Span() {
+  if (!recording_) return;
+  const int64_t end = Clock::NowNanos();
+  t_current = saved_;
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.spans.size() >= kMaxEventsPerThread) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  SpanRecord rec;
+  rec.name = name_;
+  rec.trace_id = ctx_.trace_id;
+  rec.span_id = ctx_.span_id;
+  rec.parent_id = saved_.valid() ? saved_.span_id : 0;
+  rec.start_nanos = start_nanos_;
+  rec.end_nanos = end;
+  rec.annotations = std::move(annotations_);
+  buffer.spans.push_back(std::move(rec));
+}
+
+void Span::Annotate(const char* key, double value) {
+  if (!recording_) return;
+  SpanRecord::Annotation a;
+  a.key = key;
+  a.num_value = value;
+  a.is_numeric = true;
+  annotations_.push_back(std::move(a));
+}
+
+void Span::Annotate(const char* key, const std::string& value) {
+  if (!recording_) return;
+  SpanRecord::Annotation a;
+  a.key = key;
+  a.str_value = value;
+  annotations_.push_back(std::move(a));
+}
+
+void Span::Annotate(const char* key, const char* value) {
+  Annotate(key, std::string(value));
+}
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+void AppendNum(std::string& out, double v) {
+  // JSON has no inf/nan literals; a degenerate annotation becomes 0
+  // (the bench_json.h convention).
+  if (!std::isfinite(v)) {
+    out += '0';
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  // Sort by (trace, start) so the file is stable for a given recording
+  // and each request's spans are contiguous.
+  std::vector<const SpanRecord*> ordered;
+  ordered.reserve(spans.size());
+  for (const auto& s : spans) ordered.push_back(&s);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const SpanRecord* a, const SpanRecord* b) {
+                     if (a->trace_id != b->trace_id)
+                       return a->trace_id < b->trace_id;
+                     return a->start_nanos < b->start_nanos;
+                   });
+
+  std::string out;
+  out += "{\"traceEvents\": [";
+  bool first = true;
+  for (const SpanRecord* s : ordered) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"name\": ";
+    AppendEscaped(out, s->name);
+    // pid = trace id so one request renders as one process lane; tid =
+    // span id so nested spans never collapse onto one row by accident.
+    out += ", \"ph\": \"X\", \"pid\": " + std::to_string(s->trace_id);
+    out += ", \"tid\": " + std::to_string(s->span_id);
+    out += ", \"ts\": ";
+    AppendNum(out, s->start_nanos * 1e-3);  // trace_event wants microseconds
+    out += ", \"dur\": ";
+    AppendNum(out, (s->end_nanos - s->start_nanos) * 1e-3);
+    out += ", \"args\": {\"span_id\": " + std::to_string(s->span_id);
+    out += ", \"parent_id\": " + std::to_string(s->parent_id);
+    for (const auto& a : s->annotations) {
+      out += ", ";
+      AppendEscaped(out, a.key);
+      out += ": ";
+      if (a.is_numeric) {
+        AppendNum(out, a.num_value);
+      } else {
+        AppendEscaped(out, a.str_value);
+      }
+    }
+    out += "}}";
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "trace: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << ChromeTraceJson(CollectSpans());
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "trace: write to %s failed\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mudb::obs
+
+#endif  // !MUDB_OBS_DISABLED

@@ -1,12 +1,27 @@
 #include "src/service/measure_service.h"
 
+#include <cstdio>
 #include <utility>
 
+#include "src/obs/metrics.h"
 #include "src/service/service_errors.h"
 #include "src/translate/ground.h"
 #include "src/util/timer.h"
 
 namespace mudb::service {
+
+namespace {
+
+/// Short hex prefix of a request signature for span annotations — enough
+/// to correlate spans with cache keys, without dumping 128-bit keys.
+std::string KeyPrefix(const convex::CanonicalBodyKey& key) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08llx",
+                static_cast<unsigned long long>(key.fp.hi >> 32));
+  return buf;
+}
+
+}  // namespace
 
 MeasureService::MeasureService(const ServiceOptions& options)
     : options_(options),
@@ -14,6 +29,9 @@ MeasureService::MeasureService(const ServiceOptions& options)
       body_cache_(EstimateCache::Options{options.body_cache_capacity,
                                          options.cache_shards}),
       result_cache_(options.result_cache_capacity, options.cache_shards) {
+  // Mirror the result-memo counters into the registry ("service.cache.*";
+  // the body cache publishes "service.body_cache.*" from its own ctor).
+  result_cache_.PublishMetrics("service.cache");
   if (pool_ == nullptr) {
     owned_pool_ = std::make_unique<util::ThreadPool>(
         util::ThreadPool::ResolveThreadCount(options.num_threads));
@@ -34,6 +52,7 @@ MeasureService::~MeasureService() {
 MeasureService::Ticket MeasureService::Submit(MeasureRequest request) {
   Job job;
   job.request = std::move(request);
+  job.ctx = obs::CurrentContext();
   Ticket ticket = job.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -55,6 +74,9 @@ void MeasureService::DispatcherLoop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Adopt the submitter's context so per-request spans parent under the
+    // batch/tier span that submitted them, across the dispatcher hop.
+    obs::ScopedContext adopt(job.ctx);
     job.promise.set_value(Process(job.request));
   }
 }
@@ -70,7 +92,19 @@ util::Status MeasureService::Attribute(util::Status status) const {
 
 util::StatusOr<measure::MeasureResult> MeasureService::Process(
     MeasureRequest& request) {
+  static obs::Counter* const m_requests =
+      obs::MetricsRegistry::Global().counter("service.requests");
+  static obs::Counter* const m_steps =
+      obs::MetricsRegistry::Global().counter("service.sampling_steps");
+  static obs::Counter* const m_samples =
+      obs::MetricsRegistry::Global().counter("service.samples");
+  static obs::Histogram* const m_request_ms =
+      obs::MetricsRegistry::Global().histogram("service.request_ms");
+
+  obs::Span span("service.process");
+  const int64_t t0 = obs::Clock::NowNanos();
   total_requests_.fetch_add(1, std::memory_order_relaxed);
+  m_requests->Inc();
 
   // Validate the error-model knobs before grounding or memo lookups: a
   // degenerate ε/δ must fail identically on the service and direct paths
@@ -90,6 +124,7 @@ util::StatusOr<measure::MeasureResult> MeasureService::Process(
     }
     translate::GroundOptions gopts;
     gopts.max_atoms = request.options.max_ground_atoms;
+    obs::Span ground_span("service.ground");
     util::StatusOr<translate::GroundResult> grounded = translate::GroundQuery(
         *request.query, *request.db, request.candidate, gopts);
     if (!grounded.ok()) return Attribute(grounded.status());
@@ -102,9 +137,20 @@ util::StatusOr<measure::MeasureResult> MeasureService::Process(
   // so a hit is bit-identical to re-execution.
   convex::CanonicalBodyKey signature =
       RequestSignature(*formula, request.options);
+  // The memo Lookup itself publishes service.cache.hit / .miss.
   if (std::optional<MemoEntry> memo = result_cache_.Lookup(signature)) {
     total_request_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (span.recording()) {
+      span.Annotate("cache", "hit");
+      span.Annotate("key_prefix", KeyPrefix(signature));
+    }
+    m_request_ms->Observe(
+        obs::Clock::NanosToMillis(obs::Clock::NowNanos() - t0));
     return memo->result;
+  }
+  if (span.recording()) {
+    span.Annotate("cache", "miss");
+    span.Annotate("key_prefix", KeyPrefix(signature));
   }
 
   // Execute with the service's pool and body cache plugged in (caller
@@ -130,13 +176,23 @@ util::StatusOr<measure::MeasureResult> MeasureService::Process(
     total_sampling_steps_.fetch_add(result->sampling_steps,
                                     std::memory_order_relaxed);
     total_samples_.fetch_add(result->samples, std::memory_order_relaxed);
+    m_steps->Inc(result->sampling_steps);
+    m_samples->Inc(result->samples);
     result_cache_.Insert(signature, MemoEntry{*result});
   }
+  m_request_ms->Observe(
+      obs::Clock::NanosToMillis(obs::Clock::NowNanos() - t0));
   return result;
 }
 
 MeasureService::BatchOutcome MeasureService::RunBatch(
     std::vector<MeasureRequest> requests) {
+  static obs::Histogram* const m_batch_ms =
+      obs::MetricsRegistry::Global().histogram("service.batch_ms");
+  obs::Span span("service.batch");
+  if (span.recording()) {
+    span.Annotate("requests", static_cast<double>(requests.size()));
+  }
   util::WallTimer timer;
   BatchStats before = lifetime_stats();
   std::vector<Ticket> tickets;
@@ -161,6 +217,14 @@ MeasureService::BatchOutcome MeasureService::RunBatch(
       after.sampling_steps - before.sampling_steps;
   outcome.stats.samples = after.samples - before.samples;
   outcome.stats.wall_ms = timer.ElapsedMillis();
+  outcome.trace_id = span.context().trace_id;
+  if (span.recording()) {
+    span.Annotate("cache_hits",
+                  static_cast<double>(outcome.stats.request_cache_hits));
+    span.Annotate("sampling_steps",
+                  static_cast<double>(outcome.stats.sampling_steps));
+  }
+  m_batch_ms->Observe(outcome.stats.wall_ms);
   return outcome;
 }
 

@@ -45,6 +45,7 @@
 #include "src/logic/formula.h"
 #include "src/measure/measure.h"
 #include "src/model/database.h"
+#include "src/obs/trace.h"
 #include "src/service/estimate_cache.h"
 #include "src/service/request_key.h"
 #include "src/util/status.h"
@@ -157,6 +158,10 @@ class MeasureService {
   struct BatchOutcome {
     std::vector<util::StatusOr<measure::MeasureResult>> results;
     BatchStats stats;
+    /// Flight-recorder handle: the trace id of the batch's span tree when
+    /// tracing was enabled (obs::CollectTrace(trace_id) fetches it), 0
+    /// otherwise. Carries no result data — purely an index into obs.
+    uint64_t trace_id = 0;
   };
   BatchOutcome RunBatch(std::vector<MeasureRequest> requests);
 
@@ -180,6 +185,9 @@ class MeasureService {
   struct Job {
     MeasureRequest request;
     std::promise<util::StatusOr<measure::MeasureResult>> promise;
+    /// Submitter's span context, adopted by the dispatcher so the request's
+    /// spans parent under the submitting batch/tier span.
+    obs::SpanContext ctx;
   };
   /// A memoized result plus what it cost originally (replays are free).
   struct MemoEntry {

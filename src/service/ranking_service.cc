@@ -77,6 +77,7 @@ util::StatusOr<RankingOutcome> RankingService::RankTopK(
   }
   outcome.tier_stats = std::move(rerank.tier_stats);
   outcome.total_sampling_steps = rerank.total_sampling_steps;
+  outcome.trace_id = rerank.trace_id;
   return outcome;
 }
 

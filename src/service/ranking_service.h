@@ -134,6 +134,9 @@ struct RankingOutcome {
   /// Σ over tier_stats: the hit-and-run steps the adaptive schedule paid
   /// (compare against fixed-precision full-batch ranking — bench_ranking).
   int64_t total_sampling_steps = 0;
+  /// Flight-recorder handle: trace id of this ranking's span tree when
+  /// tracing was enabled (obs::CollectTrace fetches it), 0 otherwise.
+  uint64_t trace_id = 0;
 };
 
 /// The ε-ladder scheduler on top of a MeasureService. Stateless besides the

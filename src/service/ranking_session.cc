@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/service/request_key.h"
 #include "src/service/service_errors.h"
 #include "src/translate/ground.h"
@@ -179,6 +181,12 @@ void RankingSession::TakeRef(Slot& slot,
 
 util::Status RankingSession::ApplyDelta(RankingDelta&& delta,
                                         RerankOutcome* outcome) {
+  obs::Span span("ranking.apply_delta");
+  if (span.recording()) {
+    span.Annotate("inserts", static_cast<double>(delta.inserts.size()));
+    span.Annotate("removals", static_cast<double>(delta.removals.size()));
+    span.Annotate("updates", static_cast<double>(delta.updates.size()));
+  }
   // Validate and resolve EVERYTHING before touching the session, so a bad
   // delta is all-or-nothing.
   // Error references go through service_errors.h (CandidateRef) so session
@@ -340,6 +348,23 @@ util::Status RankingSession::RunLadder(RerankOutcome* outcome) {
     if (needed.empty()) break;  // every surviving candidate is finished
     outcome->evaluations += static_cast<int64_t>(needed.size());
 
+    static obs::Counter* const m_tiers =
+        obs::MetricsRegistry::Global().counter("ranking.tiers");
+    static obs::Counter* const m_evaluations =
+        obs::MetricsRegistry::Global().counter("ranking.evaluations");
+    m_tiers->Inc();
+    m_evaluations->Inc(static_cast<int64_t>(needed.size()));
+    // One span per executed ε-tier: the batch it submitted parents under
+    // it, so a trace reads as rerank → tier → process → estimator phases.
+    obs::Span tier_span("ranking.tier");
+    if (tier_span.recording()) {
+      tier_span.Annotate("tier", static_cast<double>(t));
+      tier_span.Annotate("eps", tier_eps.has_value() ? *tier_eps : 0.0);
+      tier_span.Annotate("final", tier_eps.has_value() ? 0.0 : 1.0);
+      tier_span.Annotate("evaluations", static_cast<double>(needed.size()));
+      tier_span.Annotate("batched", static_cast<double>(batch.size()));
+    }
+
     if (!batch.empty()) {
       MeasureService::BatchOutcome tier = service_->RunBatch(std::move(batch));
       outcome->tier_stats.push_back(tier.stats);
@@ -376,6 +401,7 @@ util::Status RankingSession::RunLadder(RerankOutcome* outcome) {
     for (size_t i = 0; i < n; ++i) {
       if (active[i]) lower.push_back(outcome->candidates[i].result.ci_lo);
     }
+    int64_t pruned_this_tier = 0;
     if (lower.size() > k) {
       std::nth_element(lower.begin(), lower.begin() + (k - 1), lower.end(),
                        std::greater<double>());
@@ -385,8 +411,18 @@ util::Status RankingSession::RunLadder(RerankOutcome* outcome) {
             outcome->candidates[i].result.ci_hi < threshold) {
           active[i] = false;
           outcome->candidates[i].pruned = true;
+          ++pruned_this_tier;
         }
       }
+    }
+    static obs::Counter* const m_pruned =
+        obs::MetricsRegistry::Global().counter("ranking.pruned");
+    m_pruned->Inc(pruned_this_tier);
+    if (tier_span.recording()) {
+      int64_t survivors = 0;
+      for (size_t i = 0; i < n; ++i) survivors += active[i] ? 1 : 0;
+      tier_span.Annotate("pruned", static_cast<double>(pruned_this_tier));
+      tier_span.Annotate("survivors", static_cast<double>(survivors));
     }
 
     // Context for the next tier, from this tier's estimates alone.
@@ -422,6 +458,12 @@ util::Status RankingSession::RunLadder(RerankOutcome* outcome) {
 }
 
 util::StatusOr<RerankOutcome> RankingSession::Rerank(RankingDelta delta) {
+  static obs::Counter* const m_reranks =
+      obs::MetricsRegistry::Global().counter("ranking.reranks");
+  static obs::Counter* const m_warm_hits =
+      obs::MetricsRegistry::Global().counter("ranking.warm_hits");
+  obs::Span span("ranking.rerank");
+  m_reranks->Inc();
   MUDB_RETURN_IF_ERROR(ValidateRankingOptions(options_));
   RerankOutcome outcome;
   MUDB_RETURN_IF_ERROR(ApplyDelta(std::move(delta), &outcome));
@@ -429,6 +471,14 @@ util::StatusOr<RerankOutcome> RankingSession::Rerank(RankingDelta delta) {
   for (size_t i = 0; i < candidates_.size(); ++i) {
     candidates_[i].last = outcome.candidates[i];
     candidates_[i].ranked = true;
+  }
+  m_warm_hits->Inc(outcome.warm_hits);
+  outcome.trace_id = span.context().trace_id;
+  if (span.recording()) {
+    span.Annotate("candidates", static_cast<double>(candidates_.size()));
+    span.Annotate("evaluations", static_cast<double>(outcome.evaluations));
+    span.Annotate("warm_hits", static_cast<double>(outcome.warm_hits));
+    span.Annotate("invalidated", static_cast<double>(outcome.invalidated));
   }
   return outcome;
 }

@@ -119,6 +119,9 @@ struct RerankOutcome {
   /// Updated candidates whose new content invalidated their warm state
   /// (an update that grounds to identical content does not count).
   int64_t invalidated = 0;
+  /// Flight-recorder handle: trace id of this rerank's span tree when
+  /// tracing was enabled (obs::CollectTrace fetches it), 0 otherwise.
+  uint64_t trace_id = 0;
 };
 
 /// Incremental re-ranking session over a borrowed MeasureService. See the

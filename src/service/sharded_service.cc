@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <utility>
 
+#include "src/obs/metrics.h"
 #include "src/service/request_key.h"
 #include "src/service/service_errors.h"
 #include "src/translate/ground.h"
@@ -18,6 +21,13 @@ namespace {
 int ResolveRouterThreads(int requested, int num_shards) {
   if (requested >= 1) return requested;
   return std::clamp(2 * num_shards, 1, 16);
+}
+
+std::string ShardKeyPrefix(const convex::CanonicalBodyKey& key) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08llx",
+                static_cast<unsigned long long>(key.fp.hi >> 32));
+  return buf;
 }
 
 }  // namespace
@@ -85,6 +95,7 @@ ShardedMeasureService::Ticket ShardedMeasureService::Submit(
   Job job;
   job.request = std::move(request);
   job.deadline = deadline;
+  job.ctx = obs::CurrentContext();
   Ticket ticket = job.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -105,6 +116,9 @@ void ShardedMeasureService::RouterLoop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Parent this request's spans under the submitting span, across the
+    // router-worker hop.
+    obs::ScopedContext adopt(job.ctx);
     job.promise.set_value(Execute(job));
   }
 }
@@ -117,7 +131,26 @@ int ShardedMeasureService::ShardFor(
 }
 
 util::StatusOr<ShardedResponse> ShardedMeasureService::Execute(Job& job) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  static obs::Counter* const m_requests = reg.counter("shard.requests");
+  static obs::Counter* const m_attempts = reg.counter("shard.attempts");
+  static obs::Counter* const m_retries = reg.counter("shard.retry");
+  static obs::Counter* const m_transient =
+      reg.counter("shard.transient_failure");
+  static obs::Counter* const m_failures = reg.counter("shard.failure");
+  static obs::Counter* const m_deadline =
+      reg.counter("shard.deadline_expired");
+  static obs::Histogram* const m_request_ms =
+      reg.histogram("shard.request_ms");
+
+  obs::Span span("shard.request");
+  const int64_t t0 = obs::Clock::NowNanos();
+  const auto observe_wall = [&] {
+    m_request_ms->Observe(
+        obs::Clock::NanosToMillis(obs::Clock::NowNanos() - t0));
+  };
   total_requests_.fetch_add(1, std::memory_order_relaxed);
+  m_requests->Inc();
   MeasureRequest& request = job.request;
 
   // Permanent-error gate, identical to the unsharded path: a malformed
@@ -126,6 +159,8 @@ util::StatusOr<ShardedResponse> ShardedMeasureService::Execute(Job& job) {
   util::Status valid = measure::ValidateMeasureOptions(request.options);
   if (!valid.ok()) {
     total_failures_.fetch_add(1, std::memory_order_relaxed);
+    m_failures->Inc();
+    observe_wall();
     return valid;
   }
 
@@ -134,15 +169,20 @@ util::StatusOr<ShardedResponse> ShardedMeasureService::Execute(Job& job) {
   if (!request.formula.has_value()) {
     if (request.query == nullptr || request.db == nullptr) {
       total_failures_.fetch_add(1, std::memory_order_relaxed);
+      m_failures->Inc();
+      observe_wall();
       return util::Status::InvalidArgument(
           "MeasureRequest needs a formula or a (query, db, candidate)");
     }
     translate::GroundOptions gopts;
     gopts.max_atoms = request.options.max_ground_atoms;
+    obs::Span ground_span("shard.ground");
     util::StatusOr<translate::GroundResult> ground = translate::GroundQuery(
         *request.query, *request.db, request.candidate, gopts);
     if (!ground.ok()) {
       total_failures_.fetch_add(1, std::memory_order_relaxed);
+      m_failures->Inc();
+      observe_wall();
       return ground.status();
     }
     request.formula = std::move(ground.value().formula);
@@ -156,6 +196,10 @@ util::StatusOr<ShardedResponse> ShardedMeasureService::Execute(Job& job) {
   const int shard = ShardFor(signature);
   per_shard_requests_[static_cast<size_t>(shard)].fetch_add(
       1, std::memory_order_relaxed);
+  if (span.recording()) {
+    span.Annotate("shard", static_cast<double>(shard));
+    span.Annotate("key_prefix", ShardKeyPrefix(signature));
+  }
 
   // The jitter stream is a pure function of the request seed: the delay
   // schedule of a request is reproducible, run to run.
@@ -165,32 +209,54 @@ util::StatusOr<ShardedResponse> ShardedMeasureService::Execute(Job& job) {
     if (job.deadline.expired()) {
       total_deadline_expired_.fetch_add(1, std::memory_order_relaxed);
       total_failures_.fetch_add(1, std::memory_order_relaxed);
+      m_deadline->Inc();
+      m_failures->Inc();
+      observe_wall();
       return AnnotateRequestError(
           util::Status::DeadlineExceeded("deadline expired before delivery"),
           signature, shard, attempt - 1);
     }
     total_attempts_.fetch_add(1, std::memory_order_relaxed);
-    if (attempt > 1) total_retries_.fetch_add(1, std::memory_order_relaxed);
+    m_attempts->Inc();
+    if (attempt > 1) {
+      total_retries_.fetch_add(1, std::memory_order_relaxed);
+      m_retries->Inc();
+    }
 
-    util::StatusOr<measure::MeasureResult> result =
-        transport_->Call(shard, request);
+    util::StatusOr<measure::MeasureResult> result = [&] {
+      obs::Span attempt_span("shard.attempt");
+      if (attempt_span.recording()) {
+        attempt_span.Annotate("attempt", static_cast<double>(attempt));
+        // No annotation without a deadline: remaining_ms() is +inf then.
+        const double remaining = job.deadline.remaining_ms();
+        if (std::isfinite(remaining)) {
+          attempt_span.Annotate("deadline_remaining_ms", remaining);
+        }
+      }
+      return transport_->Call(shard, request);
+    }();
     if (result.ok()) {
       ShardedResponse response;
       response.result = *result;
       response.shard = shard;
       response.attempts = attempt;
+      response.trace_id = span.context().trace_id;
+      observe_wall();
       return response;
     }
     if (!result.status().IsRetryable()) {
       // Permanent: the shard already attributed its own message (its
       // shard_id is set); only the structured attempt count is added here.
       total_failures_.fetch_add(1, std::memory_order_relaxed);
+      m_failures->Inc();
       util::Status status = result.status();
       status.WithAttempts(attempt);
       if (status.context().shard_id < 0) status.WithShard(shard);
+      observe_wall();
       return status;
     }
     total_transient_failures_.fetch_add(1, std::memory_order_relaxed);
+    m_transient->Inc();
     last_error = result.status();
     if (attempt < options_.retry.max_attempts) {
       double delay_ms = options_.retry.backoff.DelayMs(attempt - 1, jitter);
@@ -199,20 +265,46 @@ util::StatusOr<ShardedResponse> ShardedMeasureService::Execute(Job& job) {
                             std::max(0.0, job.deadline.remaining_ms()));
       }
       if (delay_ms > 0) {
+        obs::Span backoff_span("shard.backoff");
+        if (backoff_span.recording()) {
+          backoff_span.Annotate("attempt", static_cast<double>(attempt));
+          backoff_span.Annotate("delay_ms", delay_ms);
+        }
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(delay_ms));
       }
     }
   }
-  return Degrade(request, signature, shard, options_.retry.max_attempts,
-                 std::move(last_error), job.deadline);
+  util::StatusOr<ShardedResponse> degraded =
+      Degrade(request, signature, shard, options_.retry.max_attempts,
+              std::move(last_error), job.deadline);
+  if (degraded.ok()) {
+    degraded.value().trace_id = span.context().trace_id;
+  }
+  observe_wall();
+  return degraded;
 }
 
 util::StatusOr<ShardedResponse> ShardedMeasureService::Degrade(
     const MeasureRequest& request, const convex::CanonicalBodyKey& signature,
     int shard, int attempts, util::Status last_error,
     const util::Deadline& deadline) {
+  static obs::Counter* const m_degraded =
+      obs::MetricsRegistry::Global().counter("shard.degraded");
+  static obs::Counter* const m_degrade_failures =
+      obs::MetricsRegistry::Global().counter("shard.failure");
   if (options_.degrade != DegradeMode::kNone && !deadline.expired()) {
+    obs::Span span("shard.degrade");
+    if (span.recording()) {
+      span.Annotate("mode", options_.degrade == DegradeMode::kCoarsenEpsilon
+                                ? "coarsen_epsilon"
+                                : "local_recompute");
+      span.Annotate("attempts_exhausted", static_cast<double>(attempts));
+      const double remaining = deadline.remaining_ms();
+      if (std::isfinite(remaining)) {
+        span.Annotate("deadline_remaining_ms", remaining);
+      }
+    }
     // Local re-execution never consults the failing transport. It computes
     // exactly what the unsharded service would: ComputeNu is a pure
     // function of (formula, options), so the degraded result stays
@@ -223,11 +315,13 @@ util::StatusOr<ShardedResponse> ShardedMeasureService::Degrade(
     if (options_.degrade == DegradeMode::kCoarsenEpsilon) {
       degraded_epsilon = std::min(1.0, opts.epsilon * options_.coarsen_factor);
       opts.epsilon = degraded_epsilon;
+      if (span.recording()) span.Annotate("epsilon", degraded_epsilon);
     }
     util::StatusOr<measure::MeasureResult> local =
         measure::ComputeNu(*request.formula, opts);
     if (local.ok()) {
       total_degraded_.fetch_add(1, std::memory_order_relaxed);
+      m_degraded->Inc();
       ShardedResponse response;
       response.result = *local;
       response.shard = -1;
@@ -237,15 +331,23 @@ util::StatusOr<ShardedResponse> ShardedMeasureService::Degrade(
       return response;
     }
     total_failures_.fetch_add(1, std::memory_order_relaxed);
+    m_degrade_failures->Inc();
     return AnnotateRequestError(local.status(), signature, -1, attempts);
   }
   total_failures_.fetch_add(1, std::memory_order_relaxed);
+  m_degrade_failures->Inc();
   return AnnotateRequestError(std::move(last_error), signature, shard,
                               attempts);
 }
 
 ShardedMeasureService::BatchOutcome ShardedMeasureService::RunBatch(
     std::vector<MeasureRequest> requests) {
+  static obs::Histogram* const m_batch_ms =
+      obs::MetricsRegistry::Global().histogram("shard.batch_ms");
+  obs::Span span("shard.batch");
+  if (span.recording()) {
+    span.Annotate("requests", static_cast<double>(requests.size()));
+  }
   util::WallTimer timer;
   ShardedStats before = stats();
   std::vector<Ticket> tickets;
@@ -274,6 +376,11 @@ ShardedMeasureService::BatchOutcome ShardedMeasureService::RunBatch(
         after.per_shard_requests[s] - before.per_shard_requests[s];
   }
   outcome.stats.wall_ms = timer.ElapsedMillis();
+  if (span.recording()) {
+    span.Annotate("retries", static_cast<double>(outcome.stats.retries));
+    span.Annotate("degraded", static_cast<double>(outcome.stats.degraded));
+  }
+  m_batch_ms->Observe(outcome.stats.wall_ms);
   return outcome;
 }
 

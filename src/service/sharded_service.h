@@ -65,6 +65,7 @@
 
 #include "src/convex/canonical.h"
 #include "src/measure/measure.h"
+#include "src/obs/trace.h"
 #include "src/service/fault_injector.h"
 #include "src/service/measure_service.h"
 #include "src/service/shard_transport.h"
@@ -134,6 +135,10 @@ struct ShardedResponse {
   bool degraded = false;
   /// The coarsened ε served under kCoarsenEpsilon (0 otherwise).
   double degraded_epsilon = 0.0;
+  /// Flight-recorder handle: trace id of this request's span tree when
+  /// tracing was enabled (obs::CollectTrace fetches it), 0 otherwise.
+  /// Delivery metadata only — never part of `result`.
+  uint64_t trace_id = 0;
 };
 
 /// Router accounting. Snapshot via stats(); all counters are lifetime
@@ -213,6 +218,8 @@ class ShardedMeasureService {
     MeasureRequest request;
     util::Deadline deadline;
     std::promise<util::StatusOr<ShardedResponse>> promise;
+    /// Submitter's span context, adopted by the router worker.
+    obs::SpanContext ctx;
   };
 
   void RouterLoop();

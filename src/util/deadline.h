@@ -1,23 +1,25 @@
 // Per-request deadlines for the serving layer.
 //
-// A Deadline is an absolute point on the steady clock (never the wall
-// clock: a host time adjustment must not expire in-flight requests). The
-// sharded router checks it between delivery attempts and converts expiry
-// into Status::DeadlineExceeded — in-process transports always complete, so
-// the deadline bounds *retrying*, not a single computation.
+// A Deadline is an absolute tick on the process's single steady-clock path
+// (obs::Clock — never the wall clock: a host time adjustment must not
+// expire in-flight requests). The sharded router checks it between delivery
+// attempts and converts expiry into Status::DeadlineExceeded — in-process
+// transports always complete, so the deadline bounds *retrying*, not a
+// single computation. Under obs::ScopedFakeClock, expiry becomes a
+// deterministic function of AdvanceMillis calls.
 
 #ifndef MUDB_SRC_UTIL_DEADLINE_H_
 #define MUDB_SRC_UTIL_DEADLINE_H_
 
-#include <chrono>
+#include <cstdint>
 #include <limits>
+
+#include "src/obs/clock.h"
 
 namespace mudb::util {
 
 class Deadline {
  public:
-  using Clock = std::chrono::steady_clock;
-
   /// Default-constructed: never expires.
   Deadline() = default;
 
@@ -26,8 +28,7 @@ class Deadline {
   static Deadline After(double ms) {
     Deadline d;
     d.infinite_ = false;
-    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                               std::chrono::duration<double, std::milli>(ms));
+    d.at_nanos_ = obs::Clock::NowNanos() + static_cast<int64_t>(ms * 1e6);
     return d;
   }
 
@@ -36,19 +37,20 @@ class Deadline {
 
   bool infinite() const { return infinite_; }
 
-  bool expired() const { return !infinite_ && Clock::now() >= at_; }
+  bool expired() const {
+    return !infinite_ && obs::Clock::NowNanos() >= at_nanos_;
+  }
 
   /// Milliseconds until expiry; negative once expired, +infinity for the
   /// infinite deadline.
   double remaining_ms() const {
     if (infinite_) return std::numeric_limits<double>::infinity();
-    return std::chrono::duration<double, std::milli>(at_ - Clock::now())
-        .count();
+    return obs::Clock::NanosToMillis(at_nanos_ - obs::Clock::NowNanos());
   }
 
  private:
   bool infinite_ = true;
-  Clock::time_point at_{};
+  int64_t at_nanos_ = 0;
 };
 
 }  // namespace mudb::util

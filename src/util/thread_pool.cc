@@ -39,6 +39,9 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::RunTasks(Job& job) {
+  // No-op unless the submitter had an active span (one thread_local write
+  // per *job*, not per task).
+  obs::ScopedContext adopt(job.ctx);
   for (;;) {
     int64_t i = job.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.n) return;
@@ -62,6 +65,7 @@ void ThreadPool::ParallelFor(int64_t n,
   auto job = std::make_shared<Job>();
   job->fn = &fn;
   job->n = n;
+  job->ctx = obs::CurrentContext();
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = job;

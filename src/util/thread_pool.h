@@ -21,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/trace.h"
+
 namespace mudb::util {
 
 class ThreadPool {
@@ -69,6 +71,10 @@ class ThreadPool {
     int64_t n;
     std::atomic<int64_t> next{0};
     std::atomic<int64_t> completed{0};
+    /// Submitter's span context: workers adopt it for the job's duration,
+    /// so spans opened inside tasks parent under the submitting span.
+    /// Scheduling-only, like everything else here — never read by fn.
+    obs::SpanContext ctx;
   };
 
   void WorkerLoop();

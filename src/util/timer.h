@@ -1,31 +1,38 @@
-// Wall-clock timing used by the benchmark harnesses that regenerate the
-// paper's Figure 1 series.
+// Wall-clock timing for the bench harnesses and service accounting.
+//
+// Backed by obs::Clock — the process's single steady-clock path — so every
+// reported duration (BatchStats::wall_ms, span ticks, bench timings) moves
+// together, and tests can swap in obs::ScopedFakeClock to make duration
+// assertions deterministic.
 
 #ifndef MUDB_SRC_UTIL_TIMER_H_
 #define MUDB_SRC_UTIL_TIMER_H_
 
-#include <chrono>
+#include <cstdint>
+
+#include "src/obs/clock.h"
 
 namespace mudb::util {
 
 /// Measures elapsed wall time since construction or the last Restart().
 class WallTimer {
  public:
-  WallTimer() : start_(Clock::now()) {}
+  WallTimer() : start_(obs::Clock::NowNanos()) {}
 
-  void Restart() { start_ = Clock::now(); }
+  void Restart() { start_ = obs::Clock::NowNanos(); }
 
   /// Seconds elapsed since construction/Restart.
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return obs::Clock::NanosToSeconds(obs::Clock::NowNanos() - start_);
   }
 
   /// Milliseconds elapsed since construction/Restart.
-  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMillis() const {
+    return obs::Clock::NanosToMillis(obs::Clock::NowNanos() - start_);
+  }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  int64_t start_;
 };
 
 }  // namespace mudb::util

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "src/convex/batch_sampler.h"
+#include "src/obs/trace.h"
 
 namespace mudb::volume {
 
@@ -81,6 +82,9 @@ util::StatusOr<UnionVolumeResult> EstimateUnionVolume(
                                    rep.inner.radius, rep.outer_radius_bound),
         options.body_volume.epsilon, options.body_volume.walk_steps,
         options.body_volume.samples_per_phase, base.seed());
+    // Phase-level span: one per unique body, annotated with the cache
+    // outcome — never inside the sampling loops.
+    obs::Span body_span("volume.body_estimate");
     std::optional<CachedBodyEstimate> cached;
     if (options.body_cache != nullptr) {
       cached = options.body_cache->Lookup(tier_key);
@@ -88,7 +92,12 @@ util::StatusOr<UnionVolumeResult> EstimateUnionVolume(
     if (cached.has_value()) {
       uniq_volume[s] = cached->volume;
       ++result.body_cache_hits;
+      if (body_span.recording()) {
+        body_span.Annotate("cache", "hit");
+        body_span.Annotate("steps_saved", static_cast<double>(cached->steps));
+      }
     } else {
+      if (body_span.recording()) body_span.Annotate("cache", "miss");
       util::Rng body_rng = convex::RngForKey(tier_key);
       convex::VolumeEstimate est = convex::EstimateVolume(
           rep.body, rep.inner, rep.outer_radius_bound, options.body_volume,
@@ -227,8 +236,16 @@ util::StatusOr<UnionVolumeResult> EstimateUnionVolume(
       chunk_steps[first + l] = steps[l];
     }
   };
-  util::ThreadPool::RunGrid(options.pool, static_cast<int>(groups.size()),
-                            run_group);
+  {
+    obs::Span kl_span("volume.karp_luby");
+    if (kl_span.recording()) {
+      kl_span.Annotate("samples", static_cast<double>(num_samples));
+      kl_span.Annotate("chunks", static_cast<double>(chunks));
+      kl_span.Annotate("unique_bodies", static_cast<double>(u));
+    }
+    util::ThreadPool::RunGrid(options.pool, static_cast<int>(groups.size()),
+                              run_group);
+  }
   // Fixed-order reduction: float addition is not associative, so summing in
   // chunk order is what makes the estimate independent of scheduling.
   double sum_inv = 0.0;

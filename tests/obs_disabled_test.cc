@@ -1,0 +1,67 @@
+// Compiled with MUDB_OBS_DISABLED: the entire tracing API must collapse to
+// inline no-ops — no symbols from the obs library, no recording, no state.
+// This TU deliberately links *nothing* from mudb::obs (the disabled branch
+// is header-only), which is itself the test: any accidental reference to an
+// out-of-line obs symbol fails at link time here. Instrumented call sites
+// compile against this exact surface, so the whole stack builds with the
+// flag — bit-identity compiled-out is then vacuous (spans do literally
+// nothing), and obs_test covers the on/off halves of the contract.
+
+#ifndef MUDB_OBS_DISABLED
+#error "obs_disabled_test must be compiled with -DMUDB_OBS_DISABLED"
+#endif
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/trace.h"
+
+namespace mudb::obs {
+namespace {
+
+TEST(ObsDisabledTest, TracingCannotBeEnabled) {
+  EnableTracing();
+  EXPECT_FALSE(TracingEnabled());
+  DisableTracing();
+  EXPECT_FALSE(TracingEnabled());
+}
+
+TEST(ObsDisabledTest, SpansAreInertAndRecordNothing) {
+  EnableTracing();
+  {
+    Span span("anything");
+    EXPECT_FALSE(span.recording());
+    EXPECT_FALSE(span.context().valid());
+    EXPECT_EQ(span.context().trace_id, 0u);
+    // Annotations accept every overload and do nothing.
+    span.Annotate("num", 1.0);
+    span.Annotate("cstr", "x");
+    span.Annotate("str", std::string("y"));
+    Span inner("nested");
+    EXPECT_FALSE(inner.context().valid());
+  }
+  EXPECT_TRUE(CollectSpans().empty());
+  EXPECT_TRUE(CollectTrace(123).empty());
+  EXPECT_EQ(DroppedSpanCount(), 0);
+  ClearTraces();
+}
+
+TEST(ObsDisabledTest, ContextPropagationIsInert) {
+  EXPECT_FALSE(CurrentContext().valid());
+  SpanContext ctx;
+  ctx.trace_id = 7;
+  ctx.span_id = 8;
+  ScopedContext adopt(ctx);
+  // Adoption is a no-op: nothing to restore, nothing observable.
+  EXPECT_FALSE(CurrentContext().valid());
+}
+
+TEST(ObsDisabledTest, ExportersEmitTheEmptyDocument) {
+  EXPECT_EQ(ChromeTraceJson({}), "{\"traceEvents\": []}\n");
+  std::string path = ::testing::TempDir() + "/obs_disabled_trace.json";
+  EXPECT_TRUE(WriteChromeTrace(path));
+}
+
+}  // namespace
+}  // namespace mudb::obs

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Pretty-prints a mudb metrics snapshot (src/obs/metrics.h, --metrics=).
+
+Reads the schema_version-1 JSON document the MetricsRegistry emits and
+renders three aligned tables — counters, gauges, histograms with their
+count/sum/mean and the p50/p90/p99/p999 bucket-bound quantiles. With
+--buckets, each histogram also dumps its sparse bucket rows as
+[2^(h/2), 2^((h+1)/2)) ranges with counts.
+
+Usage: tools/metrics_summary.py <metrics.json> [--buckets]
+Exit status: 0 on success, 1 on a missing/invalid document.
+"""
+
+import json
+import sys
+
+
+def fmt(v):
+    """Compact numeric rendering: integers plain, floats to 6 significant."""
+    if isinstance(v, int):
+        return str(v)
+    if v == 0:
+        return "0"
+    return f"{v:.6g}"
+
+
+def bucket_bound(h):
+    """Upper bound of half-exponent bucket h: 2^((h+1)/2)."""
+    return 2.0 ** ((h + 1) / 2.0)
+
+
+def table(rows, headers):
+    widths = [
+        max(len(headers[c]), max((len(r[c]) for r in rows), default=0))
+        for c in range(len(headers))
+    ]
+    out = ["  " + "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()]
+    for r in rows:
+        # Right-align everything but the name column.
+        cells = [r[0].ljust(widths[0])]
+        cells += [c.rjust(w) for c, w in zip(r[1:], widths[1:])]
+        out.append("  " + "  ".join(cells).rstrip())
+    return "\n".join(out)
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    show_buckets = "--buckets" in argv[1:]
+    if len(args) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    try:
+        with open(args[0]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"metrics_summary: cannot read {args[0]}: {e}", file=sys.stderr)
+        return 1
+    if doc.get("schema_version") != 1:
+        print(
+            f"metrics_summary: unsupported schema_version "
+            f"{doc.get('schema_version')!r}",
+            file=sys.stderr,
+        )
+        return 1
+
+    counters = doc.get("counters", [])
+    gauges = doc.get("gauges", [])
+    hists = doc.get("histograms", [])
+
+    if counters:
+        print("counters")
+        print(
+            table(
+                [[c["name"], fmt(c["value"])] for c in counters],
+                ["name", "value"],
+            )
+        )
+    if gauges:
+        print("\ngauges" if counters else "gauges")
+        print(
+            table(
+                [[g["name"], fmt(g["value"])] for g in gauges],
+                ["name", "value"],
+            )
+        )
+    if hists:
+        if counters or gauges:
+            print()
+        print("histograms")
+        rows = []
+        for h in hists:
+            count = h["count"]
+            mean = h["sum"] / count if count else 0.0
+            rows.append(
+                [
+                    h["name"],
+                    fmt(count),
+                    fmt(h["sum"]),
+                    fmt(mean),
+                    fmt(h["p50"]),
+                    fmt(h["p90"]),
+                    fmt(h["p99"]),
+                    fmt(h["p999"]),
+                ]
+            )
+        print(
+            table(
+                rows,
+                ["name", "count", "sum", "mean", "p50", "p90", "p99",
+                 "p999"],
+            )
+        )
+        if show_buckets:
+            for h in hists:
+                if not h.get("buckets"):
+                    continue
+                print(f"\n{h['name']} buckets")
+                for half_exp, n in h["buckets"]:
+                    lo, hi = bucket_bound(half_exp - 1), bucket_bound(half_exp)
+                    print(f"  [{fmt(lo)}, {fmt(hi)})  {n}")
+    if not (counters or gauges or hists):
+        print("(empty snapshot)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
