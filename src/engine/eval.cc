@@ -397,9 +397,8 @@ class Evaluator {
       if (a.sort() == Sort::kBase) {
         const std::string& val = t[i].base_const();
         if (a.base().is_var()) {
-          auto it = base_env_.find(a.base().text());
-          if (it == base_env_.end()) {
-            base_env_.emplace(a.base().text(), val);
+          auto [it, inserted] = base_env_.try_emplace(a.base().text(), val);
+          if (inserted) {
             base_trail_.push_back(a.base().text());
           } else if (it->second != val) {
             return false;
@@ -417,9 +416,8 @@ class Evaluator {
           }
         } else {
           const std::string& name = term.var_name();
-          auto it = num_env_.find(name);
-          if (it == num_env_.end()) {
-            num_env_.emplace(name, t[i]);
+          auto [it, inserted] = num_env_.try_emplace(name, t[i]);
+          if (inserted) {
             num_trail_.push_back(name);
           } else if (!(it->second == t[i])) {
             // Rebinding to a different value: requires pointwise equality.

@@ -71,8 +71,7 @@ class Grounder {
   /// Registers a numeric null from the candidate tuple that does not occur
   /// in the database (gets a fresh z variable).
   void EnsureNumNull(NullId id) {
-    if (z_index_.find(id) == z_index_.end()) {
-      z_index_.emplace(id, static_cast<int>(null_order_.size()));
+    if (z_index_.emplace(id, static_cast<int>(null_order_.size())).second) {
       null_order_.push_back(id);
     }
   }
@@ -219,9 +218,10 @@ class Grounder {
     std::vector<RealFormula> parts;
     if (var.sort == Sort::kBase) {
       // Save/restore any shadowed binding.
-      auto saved = env->base.find(var.name) != env->base.end()
-                       ? std::optional<std::string>(env->base[var.name])
-                       : std::nullopt;
+      std::optional<std::string> saved;
+      if (auto it = env->base.find(var.name); it != env->base.end()) {
+        saved = it->second;
+      }
       for (const std::string& c : base_domain_) {
         env->base[var.name] = c;
         MUDB_ASSIGN_OR_RETURN(RealFormula g, Ground(f.children()[0], env));
@@ -236,9 +236,10 @@ class Grounder {
         env->base.erase(var.name);
       }
     } else {
-      auto saved = env->num.find(var.name) != env->num.end()
-                       ? std::optional<Polynomial>(env->num[var.name])
-                       : std::nullopt;
+      std::optional<Polynomial> saved;
+      if (auto it = env->num.find(var.name); it != env->num.end()) {
+        saved = it->second;
+      }
       for (const Polynomial& p : num_domain_) {
         env->num[var.name] = p;
         MUDB_ASSIGN_OR_RETURN(RealFormula g, Ground(f.children()[0], env));
