@@ -44,6 +44,9 @@ class Evaluator {
       : cq_(cq), options_(options) {
     vbase_ = model::MakeBijectiveBaseValuation(db);
     vdb_ = vbase_.Apply(db);
+    // mudb-lint: allow(no-unordered-iteration-in-results) -- fills the
+    // std::map null_names_; the valuation is bijective, so keys are
+    // unique and the map is independent of hash iteration order.
     for (const auto& [id, name] : vbase_.base_map()) {
       null_names_.emplace(name, Value::BaseNull(id));
     }

@@ -37,6 +37,9 @@ MeasureService::MeasureService(const ServiceOptions& options)
         util::ThreadPool::ResolveThreadCount(options.num_threads));
     pool_ = owned_pool_.get();
   }
+  // mudb-lint: allow(no-raw-thread) -- the documented dispatcher site:
+  // one long-lived control thread that only moves requests between
+  // queues; all sampling work runs on the util::ThreadPool.
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 

@@ -221,6 +221,8 @@ class MeasureService {
   std::atomic<int64_t> total_sampling_steps_{0};
   std::atomic<int64_t> total_samples_{0};
 
+  // mudb-lint: allow(no-raw-thread) -- documented dispatcher storage;
+  // the control thread never touches sampling grids or substreams.
   std::thread dispatcher_;  // last member: started after everything above
 };
 

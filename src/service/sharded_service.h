@@ -250,6 +250,9 @@ class ShardedMeasureService {
   std::atomic<int64_t> total_deadline_expired_{0};
   std::unique_ptr<std::atomic<int64_t>[]> per_shard_requests_;
 
+  // mudb-lint: allow(no-raw-thread) -- documented router storage; router
+  // workers only route/retry requests, results stay bit-identical for any
+  // router_threads (sharded_service_test chaos matrix).
   std::vector<std::thread> routers_;  // last: started after everything above
 };
 

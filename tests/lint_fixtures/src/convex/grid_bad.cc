@@ -1,0 +1,17 @@
+// Positive fixture: deriving a work-grid shape from the thread count is
+// the original PR 2 sin — estimates would differ across num_threads.
+#include <cstdint>
+
+namespace mudb::convex {
+
+int64_t ThreadShapedGrid(int64_t total, int num_threads) {
+  int64_t chunk_size = total / num_threads;  // expect-lint: no-threadcount-grid
+  int64_t num_chunks = num_threads * 2;      // expect-lint: no-threadcount-grid
+  // Multi-line statements are still one statement to the linter:
+  int64_t lane_count =                       // expect-lint is on the use line
+      num_threads +                          // expect-lint: no-threadcount-grid
+      1;
+  return chunk_size + num_chunks + lane_count;
+}
+
+}  // namespace mudb::convex

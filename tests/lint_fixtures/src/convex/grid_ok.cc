@@ -1,0 +1,25 @@
+// Negative fixture: the sanctioned patterns around thread counts.
+#include <cstdint>
+
+namespace mudb::convex {
+
+constexpr int64_t kChunkSamples = 1 << 12;
+
+template <typename Fn>
+double ReduceSampleChunks(void* pool, int num_threads, int64_t total,
+                          int64_t chunk_size, Fn&& fn);
+
+double SanctionedUses(void* pool, int num_threads, int64_t total) {
+  // Passing a thread count AND a grid shape as separate arguments to the
+  // audited seam is fine — the grid inside derives from (total,
+  // chunk_size) only. Spans multiple lines like the real call sites.
+  double a = ReduceSampleChunks(pool, num_threads, total, kChunkSamples,
+                                [](int64_t) { return 0.0; });
+  // Sizing a pool from the thread count is fine: no grid identifier.
+  int workers = num_threads > 0 ? num_threads : 1;
+  // Deriving the grid from the workload is the whole point:
+  int64_t num_chunks = (total + kChunkSamples - 1) / kChunkSamples;
+  return a + workers + static_cast<double>(num_chunks);
+}
+
+}  // namespace mudb::convex

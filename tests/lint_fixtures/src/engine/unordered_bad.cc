@@ -1,0 +1,22 @@
+// Positive fixture: hash-order iteration in a result-producing module,
+// over a local, a typedef alias, and a cross-file accessor.
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/model/unordered_decl.h"
+
+namespace mudb::engine {
+
+using SeenSet = std::unordered_set<int>;
+
+int HashOrderLeaks(const model::FixtureValuation& v) {
+  std::unordered_map<int, int> weights;
+  SeenSet seen;
+  int acc = 0;
+  for (const auto& [key, w] : weights) acc += key * w;  // expect-lint: no-unordered-iteration-in-results
+  for (int s : seen) acc += s;                          // expect-lint: no-unordered-iteration-in-results
+  for (const auto& [a, b] : v.the_map()) acc += a - b;  // expect-lint: no-unordered-iteration-in-results
+  return acc;
+}
+
+}  // namespace mudb::engine

@@ -1,0 +1,23 @@
+// Negative fixture: ordered containers iterate freely; unordered
+// containers used for lookup only are fine; a variable named like one in
+// ANOTHER unrelated file (ground.cc's `base`) must not alias here.
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace mudb::engine {
+
+int OrderSafeUses() {
+  std::map<std::string, int> ordered;
+  std::vector<std::string> base;  // same name as an unordered member elsewhere
+  std::unordered_set<int> lookup;
+  lookup.insert(7);
+  int acc = 0;
+  for (const auto& [k, val] : ordered) acc += static_cast<int>(k.size()) + val;
+  for (const std::string& c : base) acc += static_cast<int>(c.size());
+  if (lookup.count(acc) > 0) ++acc;
+  return acc;
+}
+
+}  // namespace mudb::engine

@@ -1,0 +1,16 @@
+// Negative fixture: src/geom/geometry.cc is the audited reentrant
+// wrapper — lgamma_r (and the lgamma fallback) are sanctioned here.
+#include <cmath>
+
+namespace mudb::geom {
+
+double LogGamma(double x) {
+#if defined(__GLIBC__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace mudb::geom

@@ -1,0 +1,13 @@
+// Positive fixture: lgamma/signgam anywhere but the geometry.cc wrapper —
+// even elsewhere in src/geom/ — is the PR 8 signgam data race reborn.
+#include <cmath>
+
+namespace mudb::geom {
+
+double LogGammaRace(double x) {
+  double v = std::lgamma(x);  // expect-lint: no-signgam-lgamma
+  int sign_copy = signgam;    // expect-lint: no-signgam-lgamma
+  return v + sign_copy;
+}
+
+}  // namespace mudb::geom

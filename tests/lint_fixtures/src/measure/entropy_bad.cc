@@ -1,0 +1,17 @@
+// Positive fixture: every ambient entropy source banned in src/.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace mudb::measure {
+
+unsigned AmbientEntropy() {
+  std::random_device rd;                    // expect-lint: no-ambient-entropy
+  srand(42);                                // expect-lint: no-ambient-entropy
+  unsigned a = rand();                      // expect-lint: no-ambient-entropy
+  long b = time(nullptr);                   // expect-lint: no-ambient-entropy
+  const char* env = std::getenv("THREADS");  // expect-lint: no-ambient-entropy
+  return rd() + a + static_cast<unsigned>(b) + (env != nullptr);
+}
+
+}  // namespace mudb::measure

@@ -1,0 +1,22 @@
+// Support header for the unordered-iteration fixtures: declares an
+// accessor returning an unordered container, mirroring
+// model::Valuation::base_map(). Collected globally by the linter so a
+// range-for over the_map() in ANOTHER file is flagged.
+#ifndef MUDB_TESTS_LINT_FIXTURES_SRC_MODEL_UNORDERED_DECL_H_
+#define MUDB_TESTS_LINT_FIXTURES_SRC_MODEL_UNORDERED_DECL_H_
+
+#include <unordered_map>
+
+namespace mudb::model {
+
+class FixtureValuation {
+ public:
+  const std::unordered_map<int, int>& the_map() const { return map_; }
+
+ private:
+  std::unordered_map<int, int> map_;
+};
+
+}  // namespace mudb::model
+
+#endif  // MUDB_TESTS_LINT_FIXTURES_SRC_MODEL_UNORDERED_DECL_H_

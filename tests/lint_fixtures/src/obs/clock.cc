@@ -1,0 +1,11 @@
+// Negative fixture: src/obs/clock.cc is the one sanctioned raw-clock
+// read site; the identical call that fails everywhere else is clean here.
+#include <chrono>
+
+namespace mudb::obs {
+
+long Ticks() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace mudb::obs

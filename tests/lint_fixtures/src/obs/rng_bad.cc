@@ -1,0 +1,11 @@
+// Positive fixture: the observability layer must stay RNG-free — tracing
+// on/off/compiled-out leaves every estimate bit-identical.
+#include "src/util/rng.h"  // expect-lint: obs-purity
+
+namespace mudb::obs {
+
+double JitteredSample(mudb::util::Rng& rng) {  // expect-lint: obs-purity
+  return rng.Uniform01();
+}
+
+}  // namespace mudb::obs

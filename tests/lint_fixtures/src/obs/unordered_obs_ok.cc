@@ -1,0 +1,16 @@
+// Negative fixture: src/obs is outside the result-producing scope of
+// no-unordered-iteration-in-results — snapshots carry no result bits (and
+// the real registry uses std::map so output is name-sorted anyway).
+#include <string>
+#include <unordered_map>
+
+namespace mudb::obs {
+
+int DrainFixture() {
+  std::unordered_map<std::string, int> counters;
+  int total = 0;
+  for (const auto& [name, v] : counters) total += v + name.empty();
+  return total;
+}
+
+}  // namespace mudb::obs

@@ -1,0 +1,17 @@
+// Positive fixture: raw clock reads in src/service/ (the acceptance
+// criterion's example) must fail the lint. Comment and string occurrences
+// must NOT be flagged: steady_clock::now() right here is fine.
+#include <chrono>
+#include <string>
+
+namespace mudb::service {
+
+long RawClockReads() {
+  auto a = std::chrono::steady_clock::now();              // expect-lint: no-raw-clock
+  auto b = std::chrono::system_clock::now();              // expect-lint: no-raw-clock
+  auto c = std::chrono::high_resolution_clock::now();     // expect-lint: no-raw-clock
+  const std::string doc = "call steady_clock::now() for time";  // in string: ok
+  return doc.size() + (a < b ? 1 : 0) + (c.time_since_epoch().count() > 0);
+}
+
+}  // namespace mudb::service

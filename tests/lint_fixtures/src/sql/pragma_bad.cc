@@ -1,0 +1,14 @@
+// Positive fixture: malformed pragmas — a missing reason or an unknown
+// rule name is an error, never a silent no-op.
+#include <chrono>
+
+namespace mudb::sql {
+
+long MalformedPragmas() {
+  auto a = std::chrono::steady_clock::now();  // mudb-lint: allow(no-raw-clock)  (expect-lint: bad-pragma, no-raw-clock)
+  // mudb-lint: allow(no-such-rule) -- reason present  (expect-lint: bad-pragma)
+  auto b = std::chrono::steady_clock::now();  // expect-lint: no-raw-clock
+  return (b - a).count();
+}
+
+}  // namespace mudb::sql

@@ -1,0 +1,17 @@
+// Negative fixture: correctly-formed allow pragmas with reasons suppress
+// their violations — same-line form and comment-block form — and a used
+// pragma is not stale.
+#include <chrono>
+
+namespace mudb::sql {
+
+long SanctionedClockReads() {
+  auto a = std::chrono::steady_clock::now();  // mudb-lint: allow(no-raw-clock) -- fixture: same-line form
+  // The block form applies to the next line holding code, so a pragma can
+  // close an explanatory comment like this one.
+  // mudb-lint: allow(no-raw-clock) -- fixture: comment-block form
+  auto b = std::chrono::steady_clock::now();
+  return (b - a).count();
+}
+
+}  // namespace mudb::sql

@@ -1,0 +1,13 @@
+// Positive fixture: a pragma that suppresses nothing is itself an error —
+// the allowlist must not rot when the code it excused goes away.
+#include <cstdint>
+
+namespace mudb::sql {
+
+int64_t NothingToExcuse() {
+  // mudb-lint: allow(no-raw-clock) -- the clock read was removed  (expect-lint: stale-pragma)
+  int64_t t = 0;
+  return t;
+}
+
+}  // namespace mudb::sql

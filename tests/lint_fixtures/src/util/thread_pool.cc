@@ -1,0 +1,18 @@
+// Negative fixture: util::ThreadPool itself is the sanctioned home of raw
+// threads and the hardware_concurrency() probe.
+#include <thread>
+#include <vector>
+
+namespace mudb::util {
+
+struct FixturePool {
+  std::vector<std::thread> workers;
+};
+
+unsigned ResolveWorkers(int requested) {
+  if (requested > 0) return static_cast<unsigned>(requested);
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace mudb::util

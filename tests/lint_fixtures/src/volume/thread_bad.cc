@@ -1,0 +1,20 @@
+// Positive fixture: ad-hoc thread construction/storage and
+// hardware_concurrency() outside util::ThreadPool.
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace mudb::volume {
+
+int AdHocThreads() {
+  std::thread worker([] {});                          // expect-lint: no-raw-thread
+  std::vector<std::thread> pool;                      // expect-lint: no-raw-thread
+  unsigned hw = std::thread::hardware_concurrency();  // expect-lint: no-raw-thread
+  auto f = std::async([] { return 1; });              // expect-lint: no-raw-thread
+  worker.join();
+  // A reference to an existing thread is fine (join loops):
+  for (std::thread& t : pool) t.join();
+  return static_cast<int>(hw) + f.get();
+}
+
+}  // namespace mudb::volume

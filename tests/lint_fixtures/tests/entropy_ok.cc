@@ -1,0 +1,11 @@
+// Negative fixture: no-ambient-entropy is scoped to src/ — test code may
+// read the environment (e.g. to detect a sanitizer run).
+#include <cstdlib>
+
+namespace {
+
+bool UnderTsan() { return std::getenv("TSAN_OPTIONS") != nullptr; }
+
+}  // namespace
+
+int FixtureMain() { return UnderTsan() ? 1 : 0; }

@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Tests for tools/mudb_lint.py (ctest target: lint_fixtures).
+
+Drives the linter over the miniature tree in tests/lint_fixtures/ — one
+positive and one negative fixture per rule plus pragma/stale-pragma cases —
+and compares the `--json` output against `// expect-lint: <rule>`
+annotations embedded in the fixtures, exactly: a missed violation, a
+spurious violation, a wrong line, or a wrong rule name all fail. A rule
+regression in the linter therefore fails tier-1 (ctest runs this file).
+
+Also covers the scanner primitives directly (comment/string/raw-string
+stripping, include-path preservation, pragma parsing) and the end-to-end
+properties CI relies on: deterministic output, exit status contract, and
+the real repository linting clean.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(TOOLS_DIR)
+LINTER = os.path.join(TOOLS_DIR, "mudb_lint.py")
+FIXTURES = os.path.join(REPO_ROOT, "tests", "lint_fixtures")
+
+sys.path.insert(0, TOOLS_DIR)
+import mudb_lint  # noqa: E402
+
+EXPECT_RE = re.compile(r"expect-lint:\s*([a-z][a-z0-9-]*(?:\s*,\s*[a-z][a-z0-9-]*)*)")
+
+
+def run_linter(*args):
+    proc = subprocess.run(
+        [sys.executable, LINTER] + list(args),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    return proc
+
+
+def collect_expectations(root):
+    """All (relpath, line, rule) triples annotated in fixture files."""
+    expected = set()
+    for dirpath, _, names in os.walk(root):
+        for name in sorted(names):
+            if not name.endswith((".cc", ".h")):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            with open(path, encoding="utf-8") as f:
+                for lineno, text in enumerate(f, start=1):
+                    m = EXPECT_RE.search(text)
+                    if not m:
+                        continue
+                    for rule in m.group(1).split(","):
+                        expected.add((rel, lineno, rule.strip()))
+    return expected
+
+
+class FixtureTreeTest(unittest.TestCase):
+    """The annotated fixture tree is the ground truth for every rule."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.proc = run_linter("--root", FIXTURES, "--json")
+        cls.doc = json.loads(cls.proc.stdout)
+        cls.got = {(v["file"], v["line"], v["rule"])
+                   for v in cls.doc["violations"]}
+        cls.expected = collect_expectations(FIXTURES)
+
+    def test_violations_match_annotations_exactly(self):
+        missed = self.expected - self.got
+        spurious = self.got - self.expected
+        self.assertFalse(
+            missed or spurious,
+            "missed: %s\nspurious: %s" % (sorted(missed), sorted(spurious)))
+
+    def test_expectations_are_nonempty_and_cover_every_rule(self):
+        # A broken annotation scraper must not vacuously pass the test
+        # above; every contract rule needs at least one positive fixture.
+        rules_seen = {rule for _, _, rule in self.expected}
+        for rule in sorted(mudb_lint.RULE_DOCS):
+            self.assertIn(rule, rules_seen,
+                          "no positive fixture for rule %s" % rule)
+        self.assertIn("stale-pragma", rules_seen)
+        self.assertIn("bad-pragma", rules_seen)
+
+    def test_exit_status_one_on_violations(self):
+        self.assertEqual(self.proc.returncode, 1)
+
+    def test_output_is_deterministic(self):
+        again = run_linter("--root", FIXTURES, "--json")
+        self.assertEqual(self.proc.stdout, again.stdout)
+
+    def test_acceptance_steady_clock_in_service_fails(self):
+        # The acceptance criterion's canonical example: reintroducing a
+        # banned steady_clock::now() under src/service/ fails the lint.
+        self.assertIn(
+            ("src/service/raw_clock_bad.cc", 10, "no-raw-clock"), self.got)
+
+    def test_negative_fixtures_are_clean(self):
+        flagged_files = {f for f, _, _ in self.got}
+        for clean in ("src/obs/clock.cc", "src/geom/geometry.cc",
+                      "src/util/thread_pool.cc", "src/convex/grid_ok.cc",
+                      "src/engine/unordered_ok.cc",
+                      "src/obs/unordered_obs_ok.cc", "src/sql/pragma_ok.cc",
+                      "tests/entropy_ok.cc"):
+            self.assertNotIn(clean, flagged_files, clean)
+
+
+class RealTreeTest(unittest.TestCase):
+    def test_repository_lints_clean(self):
+        proc = run_linter()
+        self.assertEqual(
+            proc.returncode, 0,
+            "the real tree must lint clean:\n%s" % proc.stdout)
+
+    def test_list_rules(self):
+        proc = run_linter("--list-rules")
+        self.assertEqual(proc.returncode, 0)
+        for rule in mudb_lint.RULE_DOCS:
+            self.assertIn(rule, proc.stdout)
+
+    def test_missing_path_is_usage_error(self):
+        proc = run_linter("no/such/dir")
+        self.assertEqual(proc.returncode, 2)
+
+
+class StripCodeTest(unittest.TestCase):
+    def test_line_comment_blanked_newlines_kept(self):
+        code, comments = mudb_lint.strip_code("int a; // rand()\nint b;\n")
+        self.assertNotIn("rand", code)
+        self.assertEqual(code.count("\n"), 2)
+        self.assertEqual(comments, [(1, "// rand()")])
+
+    def test_block_comment_line_numbers(self):
+        code, comments = mudb_lint.strip_code("/* a\nb */ int x;\nint y;\n")
+        self.assertEqual(comments, [(1, "/* a\nb */")])
+        self.assertEqual(mudb_lint.line_of(code, code.index("y")), 3)
+
+    def test_string_and_char_literals_blanked(self):
+        code, _ = mudb_lint.strip_code('auto s = "rand()"; char c = \'r\';\n')
+        self.assertNotIn("rand", code)
+
+    def test_raw_string_blanked(self):
+        code, _ = mudb_lint.strip_code('auto s = R"(rand() // not a comment)";\nint z;\n')
+        self.assertNotIn("rand", code)
+        self.assertIn("int z;", code)
+
+    def test_include_path_preserved(self):
+        code, _ = mudb_lint.strip_code('#include "src/util/rng.h"\n')
+        self.assertIn("src/util/rng.h", code)
+
+    def test_digit_separator_is_not_char_literal(self):
+        code, _ = mudb_lint.strip_code("int n = 1'000'000; int rand_like = rand();\n")
+        self.assertIn("rand();", code)
+
+    def test_comment_inside_string_not_a_comment(self):
+        code, comments = mudb_lint.strip_code('auto s = "// no"; int k;\n')
+        self.assertEqual(comments, [])
+        self.assertIn("int k;", code)
+
+
+class PragmaParseTest(unittest.TestCase):
+    def parse(self, text):
+        code, comments = mudb_lint.strip_code(text)
+        violations = []
+        pragmas = mudb_lint.parse_pragmas(
+            "f.cc", comments, code, set(mudb_lint.RULE_DOCS), violations)
+        return pragmas, violations
+
+    def test_well_formed(self):
+        pragmas, violations = self.parse(
+            "// mudb-lint: allow(no-raw-clock) -- a reason\nint x;\n")
+        self.assertEqual(violations, [])
+        self.assertEqual(len(pragmas), 1)
+        self.assertEqual(pragmas[0].rules, ["no-raw-clock"])
+        self.assertEqual(pragmas[0].target, 2)
+
+    def test_same_line_targets_itself(self):
+        pragmas, _ = self.parse(
+            "int x;  // mudb-lint: allow(no-raw-clock) -- same line\n")
+        self.assertEqual(pragmas[0].target, 1)
+
+    def test_missing_reason_is_bad(self):
+        pragmas, violations = self.parse("// mudb-lint: allow(no-raw-clock)\n")
+        self.assertEqual(pragmas, [])
+        self.assertEqual([v.rule for v in violations], ["bad-pragma"])
+
+    def test_unknown_rule_is_bad(self):
+        pragmas, violations = self.parse(
+            "// mudb-lint: allow(bogus) -- reason\n")
+        self.assertEqual(pragmas, [])
+        self.assertEqual([v.rule for v in violations], ["bad-pragma"])
+
+    def test_multi_rule_pragma(self):
+        pragmas, violations = self.parse(
+            "// mudb-lint: allow(no-raw-clock, no-raw-thread) -- reason\nint x;\n")
+        self.assertEqual(violations, [])
+        self.assertEqual(pragmas[0].rules, ["no-raw-clock", "no-raw-thread"])
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
