@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (profile: .clang-tidy at the repo root) over every
+# first-party translation unit in compile_commands.json.
+#
+# Usage:
+#   tools/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args...]
+#
+# The build dir defaults to ./build and must contain compile_commands.json
+# (every CMake configure now exports one: CMAKE_EXPORT_COMPILE_COMMANDS is
+# ON in the root CMakeLists.txt). Exit status is non-zero if any TU
+# produces a diagnostic — the profile sets WarningsAsErrors: '*'.
+set -u -o pipefail
+
+repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift $(( $# > 0 ? 1 : 0 )) || true
+if [ "${1:-}" = "--" ]; then shift; fi
+
+tidy="${CLANG_TIDY:-}"
+if [ -z "$tidy" ]; then
+  for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+              clang-tidy-15 clang-tidy-14; do
+    if command -v "$cand" >/dev/null 2>&1; then tidy="$cand"; break; fi
+  done
+fi
+if [ -z "$tidy" ]; then
+  echo "run_clang_tidy.sh: no clang-tidy binary found on PATH." >&2
+  echo "Install clang-tidy (>= 14) or set CLANG_TIDY=/path/to/clang-tidy." >&2
+  exit 2
+fi
+
+db="$build_dir/compile_commands.json"
+if [ ! -f "$db" ]; then
+  echo "run_clang_tidy.sh: $db not found." >&2
+  echo "Configure first: cmake -B $build_dir -S $repo_root" >&2
+  exit 2
+fi
+
+# First-party TUs only: sources under src/, bench/, examples/, tests/ —
+# excluding tests/lint_fixtures/ (deliberately-broken snippets for
+# tools/mudb_lint.py) and anything FetchContent pulled into the build tree.
+mapfile -t files < <(
+  python3 - "$db" "$repo_root" <<'EOF'
+import json, os, sys
+db, root = sys.argv[1], sys.argv[2]
+keep = ("src/", "bench/", "examples/", "tests/")
+out = set()
+for entry in json.load(open(db)):
+    path = os.path.normpath(
+        os.path.join(entry.get("directory", ""), entry["file"]))
+    rel = os.path.relpath(path, root)
+    if rel.startswith("..") or rel.startswith("tests/lint_fixtures/"):
+        continue
+    if rel.startswith(keep):
+        out.add(path)
+print("\n".join(sorted(out)))
+EOF
+)
+
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "run_clang_tidy.sh: no first-party TUs in $db" >&2
+  exit 2
+fi
+
+echo "run_clang_tidy.sh: $tidy over ${#files[@]} TUs ($db)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+status=0
+printf '%s\0' "${files[@]}" |
+  xargs -0 -n 8 -P "$jobs" "$tidy" -p "$build_dir" --quiet "$@" || status=$?
+
+if [ "$status" -eq 0 ]; then
+  echo "run_clang_tidy.sh: clean"
+fi
+exit "$status"
